@@ -1,0 +1,88 @@
+// Atlas construction: build an unbiased mean anatomy from a population of
+// subjects by alternating registration and averaging — the application of
+// the multi-GPU atlas work the paper cites ([28] Ha et al.) and a natural
+// consumer of a fast registration solver: each iteration runs one
+// registration per subject.
+//
+// Algorithm (a basic unbiased template estimation):
+//
+//	atlas <- voxelwise mean of the subjects
+//	repeat: register every subject to the atlas,
+//	        atlas <- mean of the warped subjects
+//
+// As the atlas sharpens, the population variance around it drops.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"diffreg"
+)
+
+func main() {
+	const nSubjects = 4
+	const n = 20
+
+	subjects := make([]diffreg.Volume, nSubjects)
+	for s := range subjects {
+		a, _, err := diffreg.BrainPhantomPair(n, n, n, int64(10+s), 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		subjects[s] = a
+	}
+
+	atlas := mean(subjects)
+	fmt.Printf("iteration 0 (plain average): population stddev %.5f\n", stddev(subjects, atlas))
+
+	warped := make([]diffreg.Volume, nSubjects)
+	copy(warped, subjects)
+	for iter := 1; iter <= 2; iter++ {
+		for s := range subjects {
+			res, err := diffreg.Register(subjects[s], atlas, diffreg.Config{
+				Tasks: 2,
+				Beta:  1e-3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.DetMin <= 0 {
+				log.Fatalf("subject %d: map not diffeomorphic", s)
+			}
+			warped[s] = res.Warped
+		}
+		atlas = mean(warped)
+		fmt.Printf("iteration %d: population stddev %.5f (after registering %d subjects)\n",
+			iter, stddev(warped, atlas), nSubjects)
+	}
+	fmt.Println()
+	fmt.Println("the variance around the atlas shrinks as the subjects are")
+	fmt.Println("diffeomorphically aligned: anatomy-level differences remain,")
+	fmt.Println("pose and shape differences are removed by the registrations")
+}
+
+func mean(vols []diffreg.Volume) diffreg.Volume {
+	out := diffreg.NewVolume(vols[0].N[0], vols[0].N[1], vols[0].N[2])
+	for _, v := range vols {
+		for i, x := range v.Data {
+			out.Data[i] += x
+		}
+	}
+	for i := range out.Data {
+		out.Data[i] /= float64(len(vols))
+	}
+	return out
+}
+
+func stddev(vols []diffreg.Volume, ref diffreg.Volume) float64 {
+	var sum float64
+	for _, v := range vols {
+		for i, x := range v.Data {
+			d := x - ref.Data[i]
+			sum += d * d
+		}
+	}
+	return math.Sqrt(sum / float64(len(vols)*len(ref.Data)))
+}

@@ -1,0 +1,45 @@
+// Multi-scanner registration: the two images come from "different
+// scanners" — same anatomy, different intensity calibration (an affine
+// intensity rescaling). The squared-L2 measure cannot drive its residual
+// to zero in this setting; the normalized cross correlation (NCC) measure
+// is invariant to the rescaling and registers the pair anyway. This
+// exercises the paper's remark that the formulation extends to other
+// distance measures without algorithmic changes (§II-A, §V).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffreg"
+)
+
+func main() {
+	template, reference, err := diffreg.BrainPhantomPair(24, 24, 24, 5, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Simulate the second scanner: gain 1.8, offset 0.3.
+	for i := range reference.Data {
+		reference.Data[i] = 1.8*reference.Data[i] + 0.3
+	}
+
+	for _, dist := range []string{"l2", "ncc"} {
+		res, err := diffreg.Register(template, reference, diffreg.Config{
+			Tasks:    2,
+			Beta:     1e-3,
+			Distance: dist,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-4s: misfit %.4e -> %.4e (%.1f%%), newton %d, det [%.3f, %.3f]\n",
+			dist, res.MisfitInit, res.MisfitFinal, 100*res.MisfitFinal/res.MisfitInit,
+			res.NewtonIters, res.DetMin, res.DetMax)
+	}
+
+	fmt.Println()
+	fmt.Println("L2 stalls: its residual floor is the intensity mismatch itself,")
+	fmt.Println("and the spurious intensity gradient drives a wrong deformation.")
+	fmt.Println("NCC factors the calibration out and registers the anatomy.")
+}

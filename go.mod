@@ -1,0 +1,3 @@
+module diffreg
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package core orchestrates a complete registration solve: it wires the
+// spectral operators, transport solvers, optimality system, and the
+// Newton-Krylov optimizer together, runs the optimization, reconstructs
+// the deformation map, and collects the per-phase performance figures the
+// paper's tables report (time to solution, FFT communication/execution,
+// interpolation communication/execution).
+package core
+
+import (
+	"time"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/optim"
+	"diffreg/internal/pfft"
+	"diffreg/internal/regopt"
+	"diffreg/internal/spectral"
+	"diffreg/internal/transport"
+)
+
+// Config selects the problem formulation and solver parameters.
+type Config struct {
+	Opt    regopt.Options
+	Newton optim.NewtonOptions
+	// ContinuationBetas, when non-empty, runs parameter continuation over
+	// this decreasing schedule before (and instead of) a single solve at
+	// Opt.Beta.
+	ContinuationBetas []float64
+	// FirstOrder switches to the preconditioned steepest-descent baseline.
+	FirstOrder bool
+	// SkipMap disables the deformation-map reconstruction (used by pure
+	// timing runs).
+	SkipMap bool
+	// Smooth applies the paper's grid-scale Gaussian preprocessing to the
+	// input images before solving.
+	Smooth bool
+	// Intervals selects the number of piecewise-constant-in-time velocity
+	// coefficients (1 = the paper's stationary velocity; > 1 enables the
+	// time-varying extension of §V). Opt.Nt must be divisible by it.
+	Intervals int
+	// V0 warm-starts the stationary solve (used by grid continuation);
+	// nil means the zero velocity.
+	V0 *field.Vector
+}
+
+// DefaultConfig mirrors the paper's scalability setup.
+func DefaultConfig() Config {
+	return Config{Opt: regopt.DefaultOptions(), Newton: optim.DefaultNewtonOptions()}
+}
+
+// PhaseBreakdown aggregates the solver phases over all ranks (maximum),
+// matching the columns of Tables I-IV. Communication times come from the
+// message-level cost model; execution times are measured wall clock.
+type PhaseBreakdown struct {
+	TimeToSolution float64 // measured wall clock of the whole solve
+	FFTComm        float64 // modeled
+	FFTExec        float64 // measured
+	InterpComm     float64 // modeled
+	InterpExec     float64 // measured
+}
+
+// Counts reports the algorithmic work of a solve.
+type Counts struct {
+	NewtonIters  int
+	Matvecs      int
+	StateSolves  int
+	FFTs         int64
+	InterpSweeps int64
+	InterpPoints int64
+}
+
+// Outcome is the result of one registration solve on the calling rank.
+type Outcome struct {
+	Problem *regopt.Problem
+	Result  *optim.Result[*field.Vector]
+
+	V       *field.Vector // optimal velocity (stationary problems)
+	VSeries field.Series  // optimal velocity coefficients (Intervals > 1)
+	U       *field.Vector // displacement of the deformation map, y = x + u
+	Det     *field.Scalar // det(grad y)
+	Warped  *field.Scalar // rho_T(y1)
+
+	MisfitInit  float64 // 1/2||rho_T - rho_R||^2 (after preprocessing)
+	MisfitFinal float64
+	DetMin      float64
+	DetMax      float64
+	DetMean     float64
+
+	Phases PhaseBreakdown
+	Counts Counts
+}
+
+// Register runs the full solve for a template/reference pair living on the
+// pencil. The images are modified in place when cfg.Smooth is set.
+func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, error) {
+	ops := spectral.New(pfft.NewPlan(pe))
+	if cfg.Smooth {
+		ops.SmoothGridScale(rhoT)
+		ops.SmoothGridScale(rhoR)
+	}
+	pr, err := regopt.New(ops, rhoT, rhoR, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+
+	before := *pe.Comm.Stats() // snapshot to report only this solve's work
+	t0 := time.Now()
+
+	out := &Outcome{Problem: pr}
+	ts := transport.NewSolver(ops, cfg.Opt.Nt)
+	if cfg.Intervals > 1 {
+		sp, err := regopt.NewSeries(pr, cfg.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		v0 := field.NewSeries(pe, cfg.Intervals)
+		var sres *optim.Result[field.Series]
+		switch {
+		case cfg.FirstOrder:
+			sres = optim.SteepestDescent[field.Series](sp, v0, cfg.Newton)
+		case len(cfg.ContinuationBetas) > 0:
+			sres = optim.Continuation[field.Series](sp, sp.SetBeta, v0, cfg.ContinuationBetas, cfg.Newton)
+		default:
+			sres = optim.GaussNewton[field.Series](sp, v0, cfg.Newton)
+		}
+		out.VSeries = sres.V
+		out.MisfitInit = sres.MisfitInit
+		out.MisfitFinal = sres.MisfitLast
+		// Adapt the series result into the scalar-result view used by the
+		// reporting fields that do not depend on the velocity type.
+		out.Result = &optim.Result[*field.Vector]{
+			V: sres.V[0], Iters: sres.Iters,
+			JInit: sres.JInit, JFinal: sres.JFinal,
+			MisfitInit: sres.MisfitInit, MisfitLast: sres.MisfitLast,
+			GnormInit: sres.GnormInit, GnormLast: sres.GnormLast,
+			Converged: sres.Converged, History: sres.History,
+		}
+		out.V = sres.V[0]
+		if !cfg.SkipMap {
+			sc, err := ts.NewSeriesContext(sres.V, cfg.Opt.Incompressible)
+			if err != nil {
+				return nil, err
+			}
+			out.U = ts.DisplacementSeries(sc)
+		}
+	} else {
+		drv := pr.Driver()
+		v0 := cfg.V0
+		if v0 == nil {
+			v0 = field.NewVector(pe)
+		}
+		var res *optim.Result[*field.Vector]
+		switch {
+		case cfg.FirstOrder:
+			res = optim.SteepestDescent[*field.Vector](drv, v0, cfg.Newton)
+		case len(cfg.ContinuationBetas) > 0:
+			res = optim.Continuation[*field.Vector](drv, drv.SetBeta, v0, cfg.ContinuationBetas, cfg.Newton)
+		default:
+			res = optim.GaussNewton[*field.Vector](drv, v0, cfg.Newton)
+		}
+		out.Result = res
+		out.V = res.V
+		out.MisfitInit = res.MisfitInit
+		out.MisfitFinal = res.MisfitLast
+		if !cfg.SkipMap {
+			ctx := ts.NewContext(res.V, cfg.Opt.Incompressible)
+			out.U = ts.Displacement(ctx)
+		}
+	}
+	if out.U != nil {
+		out.Det = ts.DetGrad(out.U)
+		out.DetMin = out.Det.Min()
+		out.DetMax = out.Det.Max()
+		out.DetMean = out.Det.Mean()
+		out.Warped = ts.ApplyMap(rhoT, out.U)
+	}
+
+	wall := time.Since(t0).Seconds()
+	after := pe.Comm.Stats()
+	out.Phases = aggregatePhases(pe.Comm, &before, after, wall)
+	out.Counts = Counts{
+		NewtonIters:  out.Result.Iters,
+		Matvecs:      pr.Matvecs,
+		StateSolves:  pr.StateSolves,
+		FFTs:         after.FFTs - before.FFTs,
+		InterpSweeps: after.InterpSweeps - before.InterpSweeps,
+		InterpPoints: after.InterpPoints - before.InterpPoints,
+	}
+	return out, nil
+}
+
+// aggregatePhases diffs the stats snapshots and takes the maximum over all
+// ranks (the straggler determines the reported time, as with MPI timers).
+func aggregatePhases(c *mpi.Comm, before, after *mpi.Stats, wall float64) PhaseBreakdown {
+	b := PhaseBreakdown{
+		TimeToSolution: c.AllreduceMax(wall),
+		FFTComm:        c.AllreduceMax(after.ModeledComm[mpi.PhaseFFTComm] - before.ModeledComm[mpi.PhaseFFTComm]),
+		FFTExec:        c.AllreduceMax(after.MeasuredExec[mpi.PhaseFFTExec] - before.MeasuredExec[mpi.PhaseFFTExec]),
+		InterpComm:     c.AllreduceMax(after.ModeledComm[mpi.PhaseInterpComm] - before.ModeledComm[mpi.PhaseInterpComm]),
+		InterpExec:     c.AllreduceMax(after.MeasuredExec[mpi.PhaseInterpExec] - before.MeasuredExec[mpi.PhaseInterpExec]),
+	}
+	return b
+}
+
+// ResidualNorms returns ||rho_T - rho_R|| and ||rho_T(y1) - rho_R|| — the
+// before/after residuals visualized in Figs. 1, 6 and 7.
+func (o *Outcome) ResidualNorms(rhoT, rhoR *field.Scalar) (before, afterN float64) {
+	d := rhoT.Clone()
+	d.Axpy(-1, rhoR)
+	before = d.NormL2()
+	if o.Warped != nil {
+		d2 := o.Warped.Clone()
+		d2.Axpy(-1, rhoR)
+		afterN = d2.NormL2()
+	}
+	return before, afterN
+}

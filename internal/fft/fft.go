@@ -1,0 +1,218 @@
+// Package fft provides serial 1D and 3D fast Fourier transforms built from
+// scratch on the standard library: an iterative radix-2 Cooley-Tukey kernel
+// for power-of-two lengths and Bluestein's chirp-z algorithm for arbitrary
+// lengths (the brain grid of the paper is 256 x 300 x 256, so non-powers of
+// two must be first-class). The distributed 3D transform in package pfft is
+// composed from these 1D kernels, mirroring how AccFFT builds on FFTW.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Plan caches the twiddle factors and scratch layout for one transform
+// length. Plans are safe for concurrent use once built.
+type Plan struct {
+	n       int
+	pow2    bool
+	rev     []int        // bit-reversal permutation (radix-2 only)
+	tw      []complex128 // stage twiddles, forward direction
+	chirp   []complex128 // Bluestein chirp  w^(k^2/2)
+	bfft    *Plan        // Bluestein inner power-of-two plan
+	bkernel []complex128 // FFT of the Bluestein convolution kernel
+	scratch *sync.Pool   // per-call work buffers
+}
+
+var (
+	planMu    sync.Mutex
+	planCache = map[int]*Plan{}
+)
+
+// NewPlan returns a (cached) plan for transforms of length n >= 1.
+func NewPlan(n int) *Plan {
+	planMu.Lock()
+	if p, ok := planCache[n]; ok {
+		planMu.Unlock()
+		return p
+	}
+	planMu.Unlock()
+	p := buildPlan(n)
+	planMu.Lock()
+	planCache[n] = p
+	planMu.Unlock()
+	return p
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func buildPlan(n int) *Plan {
+	p := &Plan{n: n, pow2: isPow2(n)}
+	if p.pow2 {
+		p.rev = make([]int, n)
+		bits := 0
+		for 1<<bits < n {
+			bits++
+		}
+		for i := 0; i < n; i++ {
+			r := 0
+			for b := 0; b < bits; b++ {
+				if i&(1<<b) != 0 {
+					r |= 1 << (bits - 1 - b)
+				}
+			}
+			p.rev[i] = r
+		}
+		// Twiddles for all stages packed contiguously: stage with half-size
+		// m uses m factors exp(-i*pi*j/m).
+		for m := 1; m < n; m *= 2 {
+			for j := 0; j < m; j++ {
+				ang := -math.Pi * float64(j) / float64(m)
+				p.tw = append(p.tw, cmplx.Exp(complex(0, ang)))
+			}
+		}
+	} else {
+		// Bluestein: x_k * w^(k^2/2) convolved with w^(-k^2/2).
+		m := 1
+		for m < 2*n-1 {
+			m *= 2
+		}
+		p.chirp = make([]complex128, n)
+		for k := 0; k < n; k++ {
+			// Use k^2 mod 2n to keep the angle argument small.
+			kk := (int64(k) * int64(k)) % int64(2*n)
+			ang := -math.Pi * float64(kk) / float64(n)
+			p.chirp[k] = cmplx.Exp(complex(0, ang))
+		}
+		p.bfft = NewPlan(m)
+		kernel := make([]complex128, m)
+		kernel[0] = cmplx.Conj(p.chirp[0])
+		for k := 1; k < n; k++ {
+			c := cmplx.Conj(p.chirp[k])
+			kernel[k] = c
+			kernel[m-k] = c
+		}
+		p.bkernel = make([]complex128, m)
+		p.bfft.forwardPow2(kernel, p.bkernel)
+	}
+	p.scratch = &sync.Pool{New: func() any {
+		if p.pow2 {
+			buf := make([]complex128, n)
+			return &buf
+		}
+		buf := make([]complex128, 2*len(p.bkernel))
+		return &buf
+	}}
+	return p
+}
+
+// Len returns the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// forwardPow2 computes the unnormalized forward DFT of src into dst
+// (radix-2 path, len(src) == len(dst) == p.n, which must be a power of 2).
+func (p *Plan) forwardPow2(src, dst []complex128) {
+	n := p.n
+	for i := 0; i < n; i++ {
+		dst[p.rev[i]] = src[i]
+	}
+	twOff := 0
+	for m := 1; m < n; m *= 2 {
+		tw := p.tw[twOff : twOff+m]
+		for s := 0; s < n; s += 2 * m {
+			for j := 0; j < m; j++ {
+				a := dst[s+j]
+				b := dst[s+j+m] * tw[j]
+				dst[s+j] = a + b
+				dst[s+j+m] = a - b
+			}
+		}
+		twOff += m
+	}
+}
+
+// Forward computes the unnormalized forward DFT
+// X_k = sum_j x_j exp(-2*pi*i*j*k/n), writing into dst (may alias src only
+// for the radix-2 path when src == dst is not used; callers pass distinct
+// slices).
+func (p *Plan) Forward(src, dst []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic("fft: length mismatch")
+	}
+	if p.pow2 {
+		p.forwardPow2(src, dst)
+		return
+	}
+	p.bluestein(src, dst, false)
+}
+
+// Inverse computes the normalized inverse DFT
+// x_j = (1/n) sum_k X_k exp(+2*pi*i*j*k/n).
+func (p *Plan) Inverse(src, dst []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic("fft: length mismatch")
+	}
+	n := p.n
+	if p.pow2 {
+		// Conjugate trick: IDFT(x) = conj(DFT(conj(x)))/n.
+		bufp := p.scratch.Get().(*[]complex128)
+		buf := *bufp
+		for i, v := range src {
+			buf[i] = cmplx.Conj(v)
+		}
+		p.forwardPow2(buf, dst)
+		inv := 1 / float64(n)
+		for i, v := range dst {
+			dst[i] = complex(real(v)*inv, -imag(v)*inv)
+		}
+		p.scratch.Put(bufp)
+		return
+	}
+	p.bluestein(src, dst, true)
+}
+
+// bluestein evaluates the chirp-z transform for arbitrary n.
+func (p *Plan) bluestein(src, dst []complex128, inverse bool) {
+	n, m := p.n, p.bfft.n
+	bufp := p.scratch.Get().(*[]complex128)
+	buf := *bufp
+	a := buf[:m]
+	b := buf[m : 2*m]
+	for i := range a {
+		a[i] = 0
+	}
+	if inverse {
+		for k := 0; k < n; k++ {
+			a[k] = cmplx.Conj(src[k] * cmplx.Conj(p.chirp[k]))
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			a[k] = src[k] * p.chirp[k]
+		}
+	}
+	p.bfft.forwardPow2(a, b)
+	for i := range b {
+		b[i] *= p.bkernel[i]
+	}
+	// Inverse FFT of b via conjugate trick, reusing a as scratch.
+	for i, v := range b {
+		a[i] = cmplx.Conj(v)
+	}
+	p.bfft.forwardPow2(a, b)
+	invM := 1 / float64(m)
+	if inverse {
+		invN := 1 / float64(n)
+		for k := 0; k < n; k++ {
+			v := complex(real(b[k])*invM, -imag(b[k])*invM)
+			// Undo outer conjugation and apply chirp + 1/n scaling.
+			dst[k] = cmplx.Conj(v*p.chirp[k]) * complex(invN, 0)
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			v := complex(real(b[k])*invM, -imag(b[k])*invM)
+			dst[k] = v * p.chirp[k]
+		}
+	}
+	p.scratch.Put(bufp)
+}

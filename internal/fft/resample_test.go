@@ -1,0 +1,94 @@
+package fft
+
+import (
+	"math"
+	"testing"
+)
+
+func sample(n [3]int, fn func(x, y, z float64) float64) []float64 {
+	out := make([]float64, n[0]*n[1]*n[2])
+	idx := 0
+	for i := 0; i < n[0]; i++ {
+		for j := 0; j < n[1]; j++ {
+			for k := 0; k < n[2]; k++ {
+				out[idx] = fn(
+					2*math.Pi*float64(i)/float64(n[0]),
+					2*math.Pi*float64(j)/float64(n[1]),
+					2*math.Pi*float64(k)/float64(n[2]))
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+func trig(x, y, z float64) float64 {
+	return 1 + math.Sin(x)*math.Cos(y) + 0.5*math.Cos(2*z) + 0.25*math.Sin(x+y+z)
+}
+
+func TestResampleBandLimitedExact(t *testing.T) {
+	// A band-limited function transfers exactly in both directions.
+	for _, tc := range []struct{ from, to [3]int }{
+		{[3]int{8, 8, 8}, [3]int{16, 16, 16}},
+		{[3]int{16, 16, 16}, [3]int{8, 8, 8}},
+		{[3]int{8, 12, 10}, [3]int{16, 24, 20}},
+		{[3]int{12, 8, 8}, [3]int{6, 16, 12}},
+	} {
+		src := sample(tc.from, trig)
+		want := sample(tc.to, trig)
+		got := Resample3Real(src, tc.from, tc.to)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Errorf("%v->%v: value %d: %g want %g", tc.from, tc.to, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	src := sample(n, trig)
+	got := Resample3Real(src, n, n)
+	for i := range src {
+		if src[i] != got[i] {
+			t.Fatalf("identity resample changed value %d", i)
+		}
+	}
+}
+
+func TestResampleUpThenDownIsIdentity(t *testing.T) {
+	// Prolongation followed by restriction must reproduce the coarse data
+	// (the coarse grid's own Nyquist modes are dropped on both paths).
+	n := [3]int{8, 10, 8}
+	fine := [3]int{16, 20, 16}
+	src := sample(n, trig)
+	// First remove the (untransferable) Nyquist content by a roundtrip.
+	base := Resample3Real(Resample3Real(src, n, fine), fine, n)
+	up := Resample3Real(base, n, fine)
+	back := Resample3Real(up, fine, n)
+	for i := range base {
+		if math.Abs(base[i]-back[i]) > 1e-9 {
+			t.Fatalf("up-down roundtrip error at %d: %g vs %g", i, back[i], base[i])
+		}
+	}
+}
+
+func TestResampleConservesMean(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	m := [3]int{12, 12, 12}
+	src := sample(n, trig)
+	dst := Resample3Real(src, n, m)
+	var meanSrc, meanDst float64
+	for _, v := range src {
+		meanSrc += v
+	}
+	meanSrc /= float64(len(src))
+	for _, v := range dst {
+		meanDst += v
+	}
+	meanDst /= float64(len(dst))
+	if math.Abs(meanSrc-meanDst) > 1e-10 {
+		t.Errorf("mean not conserved: %g vs %g", meanSrc, meanDst)
+	}
+}

@@ -1,0 +1,272 @@
+package field
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+)
+
+func withPencil(t *testing.T, g grid.Grid, p int, fn func(pe *grid.Pencil) error) {
+	t.Helper()
+	_, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		return fn(pe)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarBasicOps(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	withPencil(t, g, 2, func(pe *grid.Pencil) error {
+		s := NewScalar(pe)
+		s.Fill(2)
+		x := NewScalar(pe)
+		x.Fill(3)
+		s.Axpy(2, x) // 2 + 6 = 8
+		for _, v := range s.Data {
+			if v != 8 {
+				t.Fatalf("axpy: %g", v)
+			}
+		}
+		s.Scale(0.5)
+		if s.Max() != 4 || s.Min() != 4 || s.Mean() != 4 {
+			t.Errorf("scale: max %g min %g mean %g", s.Max(), s.Min(), s.Mean())
+		}
+		c := s.Clone()
+		c.Fill(0)
+		if s.Max() != 4 {
+			t.Errorf("clone aliases")
+		}
+		d := NewScalar(pe)
+		d.CopyFrom(s)
+		if d.MaxAbs() != 4 {
+			t.Errorf("copyfrom")
+		}
+		return nil
+	})
+}
+
+func TestScalarDotIsQuadrature(t *testing.T) {
+	// <1, 1> over [0,2pi)^3 must equal the domain volume (2pi)^3, and
+	// <sin x1, sin x1> must equal half the volume, independent of p.
+	g := grid.MustNew(16, 16, 16)
+	vol := math.Pow(2*math.Pi, 3)
+	for _, p := range []int{1, 4} {
+		withPencil(t, g, p, func(pe *grid.Pencil) error {
+			one := NewScalar(pe)
+			one.Fill(1)
+			if got := one.Dot(one); math.Abs(got-vol) > 1e-9 {
+				t.Errorf("p=%d: <1,1> = %g want %g", p, got, vol)
+			}
+			s := NewScalar(pe)
+			s.SetFunc(func(x1, _, _ float64) float64 { return math.Sin(x1) })
+			if got := s.Dot(s); math.Abs(got-vol/2) > 1e-9 {
+				t.Errorf("p=%d: <sin,sin> = %g want %g", p, got, vol/2)
+			}
+			if got := s.NormL2(); math.Abs(got-math.Sqrt(vol/2)) > 1e-9 {
+				t.Errorf("p=%d: ||sin|| = %g", p, got)
+			}
+			return nil
+		})
+	}
+}
+
+func TestScalarReductionsMatchSerial(t *testing.T) {
+	g := grid.MustNew(8, 12, 8)
+	vals := make([]float64, g.Total())
+	rng := rand.New(rand.NewSource(5))
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	serialMin, serialMax, serialSum := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range vals {
+		serialMin = math.Min(serialMin, v)
+		serialMax = math.Max(serialMax, v)
+		serialSum += v
+	}
+	withPencil(t, g, 6, func(pe *grid.Pencil) error {
+		s := NewScalar(pe)
+		n := g.N
+		pe.EachLocal(func(i1, i2, i3, idx int) {
+			s.Data[idx] = vals[((pe.Lo[0]+i1)*n[1]+(pe.Lo[1]+i2))*n[2]+pe.Lo[2]+i3]
+		})
+		if s.Min() != serialMin || s.Max() != serialMax {
+			t.Errorf("min/max: %g/%g want %g/%g", s.Min(), s.Max(), serialMin, serialMax)
+		}
+		if math.Abs(s.Mean()-serialSum/float64(g.Total())) > 1e-12 {
+			t.Errorf("mean %g", s.Mean())
+		}
+		return nil
+	})
+}
+
+func TestVectorOps(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	withPencil(t, g, 2, func(pe *grid.Pencil) error {
+		v := NewVector(pe)
+		v.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+			return 1, 2, 3
+		})
+		w := v.Clone()
+		w.Scale(2)
+		v.Axpy(1, w) // (3, 6, 9)
+		if v.C[2].Max() != 9 || v.C[0].Min() != 3 {
+			t.Errorf("vector axpy")
+		}
+		if v.MaxAbs() != 9 {
+			t.Errorf("maxabs %g", v.MaxAbs())
+		}
+		vol := math.Pow(2*math.Pi, 3)
+		want := (9.0 + 36 + 81) * vol
+		if got := v.Dot(v); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("dot %g want %g", got, want)
+		}
+		u := NewVector(pe)
+		u.CopyFrom(v)
+		u.Fill(0)
+		if v.MaxAbs() != 9 {
+			t.Errorf("fill aliased")
+		}
+		return nil
+	})
+}
+
+func TestDotSymmetryAndLinearityProperty(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	f := func(seed int64, aRaw uint8) bool {
+		ok := true
+		a := float64(aRaw%10) - 5
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(seed))
+			x := NewScalar(pe)
+			y := NewScalar(pe)
+			z := NewScalar(pe)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+				y.Data[i] = rng.NormFloat64()
+				z.Data[i] = rng.NormFloat64()
+			}
+			if math.Abs(x.Dot(y)-y.Dot(x)) > 1e-9 {
+				ok = false
+			}
+			// <x + a z, y> == <x,y> + a <z,y>
+			lhs := x.Clone()
+			lhs.Axpy(a, z)
+			if math.Abs(lhs.Dot(y)-(x.Dot(y)+a*z.Dot(y))) > 1e-8 {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotIndependentOfDecompositionProperty(t *testing.T) {
+	g := grid.MustNew(8, 12, 8)
+	vals := make([]float64, g.Total())
+	rng := rand.New(rand.NewSource(17))
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	dots := map[int]float64{}
+	for _, p := range []int{1, 2, 4, 6} {
+		withPencil(t, g, p, func(pe *grid.Pencil) error {
+			s := NewScalar(pe)
+			n := g.N
+			pe.EachLocal(func(i1, i2, i3, idx int) {
+				s.Data[idx] = vals[((pe.Lo[0]+i1)*n[1]+(pe.Lo[1]+i2))*n[2]+pe.Lo[2]+i3]
+			})
+			dots[p] = s.Dot(s)
+			return nil
+		})
+	}
+	for p, d := range dots {
+		if math.Abs(d-dots[1]) > 1e-9*math.Abs(dots[1]) {
+			t.Errorf("dot differs at p=%d: %g vs %g", p, d, dots[1])
+		}
+	}
+}
+
+func TestSeriesVecOps(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	withPencil(t, g, 1, func(pe *grid.Pencil) error {
+		s := NewSeries(pe, 2)
+		if len(s) != 2 {
+			t.Fatalf("series length %d", len(s))
+		}
+		s[0].Fill(1)
+		s[1].Fill(3)
+		x := s.Clone()
+		x.Scale(2) // (2, 6)
+		s.Axpy(1, x)
+		if s[0].C[0].Max() != 3 || s[1].C[0].Max() != 9 {
+			t.Errorf("series axpy: %g %g", s[0].C[0].Max(), s[1].C[0].Max())
+		}
+		if s.MaxAbs() != 9 {
+			t.Errorf("series maxabs %g", s.MaxAbs())
+		}
+		// The series inner product averages over intervals: a constant
+		// series (a, a) must have the same norm as the stationary field a.
+		c := NewSeries(pe, 2)
+		c[0].Fill(2)
+		c[1].Fill(2)
+		single := NewVector(pe)
+		single.Fill(2)
+		if math.Abs(c.NormL2()-single.NormL2()) > 1e-12 {
+			t.Errorf("series norm %g vs stationary %g", c.NormL2(), single.NormL2())
+		}
+		// Clone must not alias.
+		cl := s.Clone()
+		cl.Scale(0)
+		if s.MaxAbs() != 9 {
+			t.Errorf("series clone aliases")
+		}
+		return nil
+	})
+}
+
+func TestSeriesLengthMismatchPanics(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	withPencil(t, g, 1, func(pe *grid.Pencil) error {
+		a := NewSeries(pe, 2)
+		b := NewSeries(pe, 3)
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch did not panic")
+			}
+		}()
+		a.Axpy(1, b)
+		return nil
+	})
+}
+
+func TestVectorSetFuncAndNorm(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	withPencil(t, g, 4, func(pe *grid.Pencil) error {
+		v := NewVector(pe)
+		v.SetFunc(func(x1, _, _ float64) (float64, float64, float64) {
+			return math.Sin(x1), 0, 0
+		})
+		vol := math.Pow(2*math.Pi, 3)
+		if got := v.NormL2(); math.Abs(got-math.Sqrt(vol/2)) > 1e-9 {
+			t.Errorf("vector norm %g", got)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,64 @@
+package field
+
+import "diffreg/internal/grid"
+
+// Gather assembles the global array of the distributed scalar field on
+// rank 0 (row-major, dimension 2 fastest); other ranks receive nil. Used
+// for volume output and figure export, never inside the solver.
+func (s *Scalar) Gather() []float64 {
+	pe := s.P
+	c := pe.Comm
+	flat := c.GatherFloat64(0, s.Data)
+	if c.Rank() != 0 {
+		return nil
+	}
+	n := pe.Grid.N
+	out := make([]float64, pe.Grid.Total())
+	off := 0
+	for r := 0; r < c.Size(); r++ {
+		r1 := r / pe.P[1]
+		r2 := r % pe.P[1]
+		lo1, hi1 := grid.Share(n[0], pe.P[0], r1)
+		lo2, hi2 := grid.Share(n[1], pe.P[1], r2)
+		for j1 := lo1; j1 < hi1; j1++ {
+			for j2 := lo2; j2 < hi2; j2++ {
+				dst := (j1*n[1] + j2) * n[2]
+				copy(out[dst:dst+n[2]], flat[off:off+n[2]])
+				off += n[2]
+			}
+		}
+	}
+	return out
+}
+
+// Scatter distributes a global array (significant on rank 0 only) into the
+// local portions of the field on every rank.
+func (s *Scalar) Scatter(global []float64) {
+	pe := s.P
+	c := pe.Comm
+	n := pe.Grid.N
+	if c.Rank() == 0 {
+		for r := c.Size() - 1; r >= 0; r-- {
+			r1 := r / pe.P[1]
+			r2 := r % pe.P[1]
+			lo1, hi1 := grid.Share(n[0], pe.P[0], r1)
+			lo2, hi2 := grid.Share(n[1], pe.P[1], r2)
+			buf := make([]float64, (hi1-lo1)*(hi2-lo2)*n[2])
+			pos := 0
+			for j1 := lo1; j1 < hi1; j1++ {
+				for j2 := lo2; j2 < hi2; j2++ {
+					src := (j1*n[1] + j2) * n[2]
+					copy(buf[pos:pos+n[2]], global[src:src+n[2]])
+					pos += n[2]
+				}
+			}
+			if r == 0 {
+				copy(s.Data, buf)
+			} else {
+				c.Send(r, 900, buf)
+			}
+		}
+		return
+	}
+	copy(s.Data, c.Recv(0, 900).([]float64))
+}

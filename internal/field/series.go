@@ -1,0 +1,78 @@
+package field
+
+import (
+	"math"
+
+	"diffreg/internal/grid"
+)
+
+// Series is a time-varying velocity parameterization: one stationary
+// coefficient field per time interval (piecewise-constant-in-time
+// velocity, the extension the paper describes for registering image time
+// series, §V). A Series of length 1 is equivalent to a stationary field.
+// Series satisfies the optimizer's Vec interface, so the identical
+// Newton-Krylov machinery drives the time-varying problem.
+type Series []*Vector
+
+// NewSeries allocates nc zero coefficient fields on the pencil.
+func NewSeries(p *grid.Pencil, nc int) Series {
+	out := make(Series, nc)
+	for i := range out {
+		out[i] = NewVector(p)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	out := make(Series, len(s))
+	for i, v := range s {
+		out[i] = v.Clone()
+	}
+	return out
+}
+
+// Axpy computes s += a*x componentwise over intervals.
+func (s Series) Axpy(a float64, x Series) {
+	if len(s) != len(x) {
+		panic("field: series length mismatch")
+	}
+	for i := range s {
+		s[i].Axpy(a, x[i])
+	}
+}
+
+// Scale multiplies every coefficient field by a.
+func (s Series) Scale(a float64) {
+	for i := range s {
+		s[i].Scale(a)
+	}
+}
+
+// Dot returns the time-averaged inner product: the L2(Omega x [0,1]) inner
+// product of the piecewise-constant velocities, i.e. the mean over
+// intervals of the spatial inner products.
+func (s Series) Dot(x Series) float64 {
+	if len(s) != len(x) {
+		panic("field: series length mismatch")
+	}
+	sum := 0.0
+	for i := range s {
+		sum += s[i].Dot(x[i])
+	}
+	return sum / float64(len(s))
+}
+
+// NormL2 returns the L2(Omega x [0,1]) norm.
+func (s Series) NormL2() float64 { return math.Sqrt(s.Dot(s)) }
+
+// MaxAbs returns the global max-norm over all intervals and components.
+func (s Series) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range s {
+		if a := v.MaxAbs(); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"diffreg/internal/mpi"
+)
+
+func TestShare(t *testing.T) {
+	for _, n := range []int{7, 8, 16, 300} {
+		for _, p := range []int{1, 2, 3, 4, 7} {
+			covered := 0
+			prevHi := 0
+			for i := 0; i < p; i++ {
+				lo, hi := Share(n, p, i)
+				if lo != prevHi {
+					t.Fatalf("n=%d p=%d i=%d: gap lo=%d prevHi=%d", n, p, i, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("n=%d p=%d: covered %d", n, p, covered)
+			}
+		}
+	}
+}
+
+func TestShareOwnerProperty(t *testing.T) {
+	f := func(nRaw, pRaw, jRaw uint16) bool {
+		n := 1 + int(nRaw)%1000
+		p := 1 + int(pRaw)%16
+		if p > n {
+			p = n
+		}
+		j := int(jRaw) % n
+		i := ShareOwner(n, p, j)
+		lo, hi := Share(n, p, i)
+		return lo <= j && j < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 8: {2, 4},
+		12: {3, 4}, 16: {4, 4}, 64: {8, 8}, 1024: {32, 32}, 7: {1, 7},
+	}
+	for p, want := range cases {
+		p1, p2 := ProcGrid(p)
+		if p1 != want[0] || p2 != want[1] {
+			t.Errorf("p=%d: got %dx%d want %dx%d", p, p1, p2, want[0], want[1])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 8, 8); err == nil {
+		t.Error("expected error for tiny dim")
+	}
+	g, err := New(8, 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 8*12*16 {
+		t.Errorf("total %d", g.Total())
+	}
+	if math.Abs(g.Spacing(0)-2*math.Pi/8) > 1e-15 {
+		t.Errorf("spacing %g", g.Spacing(0))
+	}
+	if math.Abs(g.CellVolume()-g.Spacing(0)*g.Spacing(1)*g.Spacing(2)) > 1e-18 {
+		t.Error("cell volume")
+	}
+}
+
+func TestPencilCoversGrid(t *testing.T) {
+	g := MustNew(8, 12, 16)
+	for _, p := range []int{1, 2, 4, 6} {
+		p := p
+		seen := make([][]int32, p) // per-rank owned flat global indices
+		_, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			var mine []int32
+			for j1 := pe.Lo[0]; j1 < pe.Hi[0]; j1++ {
+				for j2 := pe.Lo[1]; j2 < pe.Hi[1]; j2++ {
+					for j3 := pe.Lo[2]; j3 < pe.Hi[2]; j3++ {
+						mine = append(mine, int32((j1*g.N[1]+j2)*g.N[2]+j3))
+					}
+				}
+			}
+			seen[c.Rank()] = mine
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		all := map[int32]bool{}
+		for _, mine := range seen {
+			for _, j := range mine {
+				if all[j] {
+					t.Fatalf("p=%d: duplicate ownership of %d", p, j)
+				}
+				all[j] = true
+			}
+		}
+		if len(all) != g.Total() {
+			t.Fatalf("p=%d: covered %d of %d", p, len(all), g.Total())
+		}
+	}
+}
+
+func TestPencilOwnerOf(t *testing.T) {
+	g := MustNew(8, 12, 16)
+	_, err := mpi.Run(4, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		// Every point this rank owns must map back to this rank.
+		for j1 := pe.Lo[0]; j1 < pe.Hi[0]; j1++ {
+			for j2 := pe.Lo[1]; j2 < pe.Hi[1]; j2++ {
+				if own := pe.OwnerOf(j1, j2); own != c.Rank() {
+					t.Errorf("rank %d: OwnerOf(%d,%d)=%d", c.Rank(), j1, j2, own)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPencilRowColComms(t *testing.T) {
+	g := MustNew(8, 12, 16)
+	_, err := mpi.Run(6, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		if pe.Row.Size() != pe.P[1] || pe.Col.Size() != pe.P[0] {
+			t.Errorf("row %d col %d want %d %d", pe.Row.Size(), pe.Col.Size(), pe.P[1], pe.P[0])
+		}
+		if pe.Row.Rank() != pe.Coord[1] || pe.Col.Rank() != pe.Coord[0] {
+			t.Errorf("sub-ranks %d %d want %v", pe.Row.Rank(), pe.Col.Rank(), pe.Coord)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEachLocalOrder(t *testing.T) {
+	g := MustNew(4, 6, 8)
+	_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		next := 0
+		pe.EachLocal(func(i1, i2, i3, idx int) {
+			if idx != next {
+				t.Fatalf("idx %d want %d", idx, next)
+			}
+			if pe.Index(i1, i2, i3) != idx {
+				t.Fatalf("Index(%d,%d,%d)=%d want %d", i1, i2, i3, pe.Index(i1, i2, i3), idx)
+			}
+			next++
+		})
+		if next != pe.LocalTotal() {
+			t.Fatalf("visited %d want %d", next, pe.LocalTotal())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPencilTooSmall(t *testing.T) {
+	g := MustNew(4, 4, 8)
+	_, err := mpi.Run(4, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		if _, err := NewPencil(g, c); err == nil {
+			t.Error("expected error: 4x4 over 2x2 leaves 2 planes per rank")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

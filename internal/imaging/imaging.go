@@ -1,0 +1,225 @@
+// Package imaging provides the image data used by the paper's experiments:
+// the analytic synthetic template/velocity pair of §IV-A1, a deterministic
+// multi-tissue brain phantom standing in for the NIREP MRI datasets (the
+// originals are registration-gated; see DESIGN.md for the substitution
+// rationale), image normalization and smoothing helpers, and simple volume
+// output (MetaImage + PGM slices) for the figure reproductions.
+package imaging
+
+import (
+	"math"
+	"math/rand"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/spectral"
+	"diffreg/internal/transport"
+)
+
+// SyntheticTemplate fills the paper's synthetic template image
+// rho_T(x) = (sin^2 x1 + sin^2 x2 + sin^2 x3)/3.
+func SyntheticTemplate(pe *grid.Pencil) *field.Scalar {
+	s := field.NewScalar(pe)
+	s.SetFunc(func(x1, x2, x3 float64) float64 {
+		s1, s2, s3 := math.Sin(x1), math.Sin(x2), math.Sin(x3)
+		return (s1*s1 + s2*s2 + s3*s3) / 3
+	})
+	return s
+}
+
+// SyntheticVelocity returns the paper's exact velocity
+// v*(x) = (cos x1 sin x2, cos x2 sin x1, cos x1 sin x3).
+func SyntheticVelocity(pe *grid.Pencil) *field.Vector {
+	v := field.NewVector(pe)
+	v.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+		return math.Cos(x1) * math.Sin(x2),
+			math.Cos(x2) * math.Sin(x1),
+			math.Cos(x1) * math.Sin(x3)
+	})
+	return v
+}
+
+// SolenoidalVelocity returns a divergence-free analogue of the synthetic
+// velocity ("for the incompressible case we use a similar but divergence
+// free velocity field", §IV-A1): a Taylor-Green-like field with an exactly
+// vanishing divergence.
+func SolenoidalVelocity(pe *grid.Pencil) *field.Vector {
+	v := field.NewVector(pe)
+	v.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+		return math.Sin(x1) * math.Cos(x2) * math.Cos(x3),
+			-math.Cos(x1) * math.Sin(x2) * math.Cos(x3),
+			0
+	})
+	return v
+}
+
+// MakeReference generates the reference image by solving the forward
+// transport problem with the given exact velocity — how the paper builds
+// its synthetic registration problems (Fig. 5).
+func MakeReference(ops *spectral.Ops, rhoT *field.Scalar, v *field.Vector, nt int, solenoidal bool) *field.Scalar {
+	ts := transport.NewSolver(ops, nt)
+	ctx := ts.NewContext(v, solenoidal)
+	out := field.NewScalar(ops.Pe)
+	copy(out.Data, ts.State(ctx, rhoT)[nt])
+	return out
+}
+
+// Normalize rescales the field to [0, 1] in place (constant fields map to
+// zero). Medical images arrive with arbitrary intensity ranges; the solver
+// works on normalized intensities.
+func Normalize(s *field.Scalar) {
+	lo, hi := s.Min(), s.Max()
+	if hi-lo < 1e-300 {
+		s.Fill(0)
+		return
+	}
+	inv := 1 / (hi - lo)
+	for i, v := range s.Data {
+		s.Data[i] = (v - lo) * inv
+	}
+}
+
+// brainSubject holds the smooth inter-subject warp parameters. Different
+// seeds give anatomically plausible variations of the same phantom, like
+// the multi-subject NIREP data the paper registers.
+type brainSubject struct {
+	amp          [3][4]float64
+	phase        [3][4]float64
+	freq         [3][4]int
+	foldPhase    float64
+	ventricleDx  float64
+	corticalAmpl float64
+}
+
+func newBrainSubject(seed int64) brainSubject {
+	rng := rand.New(rand.NewSource(seed))
+	var s brainSubject
+	for d := 0; d < 3; d++ {
+		for k := 0; k < 4; k++ {
+			s.amp[d][k] = 0.08 * (rng.Float64() - 0.5)
+			s.phase[d][k] = 2 * math.Pi * rng.Float64()
+			s.freq[d][k] = 1 + rng.Intn(3)
+		}
+	}
+	s.foldPhase = 2 * math.Pi * rng.Float64()
+	s.ventricleDx = 0.15 * (rng.Float64() - 0.5)
+	s.corticalAmpl = 0.18 + 0.06*rng.Float64()
+	return s
+}
+
+// smoothstep is a C1 ramp from 1 (t <= 0) to 0 (t >= w).
+func smoothstep(t, w float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t >= w {
+		return 0
+	}
+	u := t / w
+	return 1 - u*u*(3-2*u)
+}
+
+// BrainPhantom fills a deterministic multi-tissue brain-like image for the
+// given subject seed: an ellipsoidal head with a bright white-matter core,
+// darker ventricles, and a folded cortical band, all warped by a smooth
+// subject-specific deformation. Intensities lie in [0, 1].
+func BrainPhantom(pe *grid.Pencil, subject int64) *field.Scalar {
+	sub := newBrainSubject(subject)
+	s := field.NewScalar(pe)
+	s.SetFunc(func(x1, x2, x3 float64) float64 {
+		return brainIntensity(&sub, x1, x2, x3)
+	})
+	return s
+}
+
+func brainIntensity(sub *brainSubject, x1, x2, x3 float64) float64 {
+	// Subject-specific smooth warp of the evaluation point.
+	x := [3]float64{x1, x2, x3}
+	var w [3]float64
+	for d := 0; d < 3; d++ {
+		w[d] = x[d]
+		for k := 0; k < 4; k++ {
+			arg := float64(sub.freq[d][k])*x[(d+1)%3] + 2*float64(sub.freq[d][(k+1)%4])*x[(d+2)%3]
+			w[d] += sub.amp[d][k] * math.Sin(arg+sub.phase[d][k])
+		}
+	}
+	// Elliptic radius around the domain center.
+	c := math.Pi
+	dx := (w[0] - c) / 2.0
+	dy := (w[1] - c) / 2.4
+	dz := (w[2] - c) / 1.9
+	r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+
+	// Head envelope.
+	head := smoothstep(r-1.0, 0.25)
+	if head == 0 {
+		return 0
+	}
+	intensity := 0.35 * head
+
+	// White matter core.
+	intensity += 0.3 * smoothstep(r-0.55, 0.2)
+
+	// Cortical folding band: angular modulation near the rim.
+	theta := math.Atan2(dy, dx)
+	phi := math.Atan2(dz, math.Sqrt(dx*dx+dy*dy))
+	band := math.Exp(-((r - 0.85) * (r - 0.85)) / 0.02)
+	folds := math.Sin(7*theta+sub.foldPhase) * math.Cos(5*phi+0.5*sub.foldPhase)
+	intensity += sub.corticalAmpl * band * folds
+
+	// Ventricles: two darker lobes beside the mid-plane.
+	for _, side := range []float64{-1, 1} {
+		vx := (w[0] - c - side*(0.35+sub.ventricleDx)) / 0.28
+		vy := (w[1] - c + 0.1) / 0.55
+		vz := (w[2] - c) / 0.3
+		rv := math.Sqrt(vx*vx + vy*vy + vz*vz)
+		intensity -= 0.3 * smoothstep(rv-1, 0.4)
+	}
+	if intensity < 0 {
+		intensity = 0
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return intensity
+}
+
+// PrepareImages applies the paper's preprocessing: normalize both images to
+// [0, 1] and smooth them spectrally with a Gaussian of one grid cell
+// bandwidth so the spectral differentiation is well behaved (§III-B1).
+func PrepareImages(ops *spectral.Ops, imgs ...*field.Scalar) {
+	for _, img := range imgs {
+		Normalize(img)
+		ops.SmoothGridScale(img)
+	}
+}
+
+// Dice returns the Dice similarity coefficient of the level sets
+// {a > threshold} and {b > threshold}: 2|A∩B| / (|A|+|B|), the standard
+// overlap metric used to evaluate registration quality on label maps
+// (e.g. in the NIREP evaluation protocol the paper's brain data comes
+// from). 1 is perfect overlap; empty sets give 1 by convention.
+func Dice(a, b *field.Scalar, threshold float64) float64 {
+	var inter, sa, sb float64
+	for i := range a.Data {
+		av := a.Data[i] > threshold
+		bv := b.Data[i] > threshold
+		if av {
+			sa++
+		}
+		if bv {
+			sb++
+		}
+		if av && bv {
+			inter++
+		}
+	}
+	c := a.P.Comm
+	inter = c.AllreduceSum(inter)
+	sa = c.AllreduceSum(sa)
+	sb = c.AllreduceSum(sb)
+	if sa+sb == 0 {
+		return 1
+	}
+	return 2 * inter / (sa + sb)
+}

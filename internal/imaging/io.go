@@ -1,0 +1,118 @@
+package imaging
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"diffreg/internal/grid"
+)
+
+// WriteMHD writes a global volume as a MetaImage header/raw pair, the
+// interchange format common in the medical imaging community (ELASTIX,
+// ANTS and friends read it). Data is float64 little-endian, row-major with
+// dimension 2 fastest; MetaImage's DimSize is listed fastest-first.
+func WriteMHD(path string, g grid.Grid, data []float64) error {
+	if len(data) != g.Total() {
+		return fmt.Errorf("imaging: volume has %d values, grid needs %d", len(data), g.Total())
+	}
+	rawName := trimExt(filepath.Base(path)) + ".raw"
+	header := fmt.Sprintf(`ObjectType = Image
+NDims = 3
+BinaryData = True
+BinaryDataByteOrderMSB = False
+DimSize = %d %d %d
+ElementSpacing = %g %g %g
+ElementType = MET_DOUBLE
+ElementDataFile = %s
+`, g.N[2], g.N[1], g.N[0], g.Spacing(2), g.Spacing(1), g.Spacing(0), rawName)
+	if err := os.WriteFile(path, []byte(header), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(filepath.Dir(path), rawName))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	var buf [8]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// ReadMHDRaw reads back a raw volume written by WriteMHD given the grid.
+func ReadMHDRaw(rawPath string, g grid.Grid) ([]float64, error) {
+	b, err := os.ReadFile(rawPath)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 8*g.Total() {
+		return nil, fmt.Errorf("imaging: raw file has %d bytes, want %d", len(b), 8*g.Total())
+	}
+	out := make([]float64, g.Total())
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+func trimExt(name string) string {
+	ext := filepath.Ext(name)
+	return name[:len(name)-len(ext)]
+}
+
+// WritePGMSlice writes one axial slice (fixed index along the given axis)
+// of a global volume as an 8-bit PGM image, rescaled to the volume's
+// intensity range — the format used for the figure reproductions.
+func WritePGMSlice(path string, g grid.Grid, data []float64, axis, index int) error {
+	if axis < 0 || axis > 2 {
+		return fmt.Errorf("imaging: axis %d out of range", axis)
+	}
+	if index < 0 || index >= g.N[axis] {
+		return fmt.Errorf("imaging: slice %d out of range for axis %d (size %d)", index, axis, g.N[axis])
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	var w, h int
+	var at func(i, j int) float64
+	n := g.N
+	switch axis {
+	case 0:
+		h, w = n[1], n[2]
+		at = func(i, j int) float64 { return data[(index*n[1]+i)*n[2]+j] }
+	case 1:
+		h, w = n[0], n[2]
+		at = func(i, j int) float64 { return data[(i*n[1]+index)*n[2]+j] }
+	default:
+		h, w = n[0], n[1]
+		at = func(i, j int) float64 { return data[(i*n[1]+j)*n[2]+index] }
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", w, h)
+	for i := 0; i < h; i++ {
+		for j := 0; j < w; j++ {
+			bw.WriteByte(byte((at(i, j) - lo) * scale))
+		}
+	}
+	return bw.Flush()
+}

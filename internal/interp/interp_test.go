@@ -1,0 +1,242 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightsPartitionOfUnity(t *testing.T) {
+	f := func(tRaw float64) bool {
+		tt := math.Mod(math.Abs(tRaw), 1)
+		w := Weights(tt)
+		sum := w[0] + w[1] + w[2] + w[3]
+		return math.Abs(sum-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightsInterpolateNodes(t *testing.T) {
+	// At t=0 only the offset-0 weight is nonzero.
+	w := Weights(0)
+	want := [4]float64{0, 1, 0, 0}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-14 {
+			t.Errorf("w[%d] = %g want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestWeightsReproduceCubic(t *testing.T) {
+	// For p(s) = s^3 - 2s^2 + 3s - 1 sampled at s = -1,0,1,2 the
+	// interpolant at t must be exact.
+	p := func(s float64) float64 { return s*s*s - 2*s*s + 3*s - 1 }
+	for _, tt := range []float64{0, 0.25, 0.5, 0.75, 0.99} {
+		w := Weights(tt)
+		got := w[0]*p(-1) + w[1]*p(0) + w[2]*p(1) + w[3]*p(2)
+		if math.Abs(got-p(tt)) > 1e-12 {
+			t.Errorf("t=%g: got %g want %g", tt, got, p(tt))
+		}
+	}
+}
+
+func TestSplitIndex(t *testing.T) {
+	cases := []struct {
+		x    float64
+		n    int
+		i    int
+		frac float64
+	}{
+		{2.25, 8, 2, 0.25},
+		{-0.5, 8, 7, 0.5},
+		{8.75, 8, 0, 0.75},
+		{-8.25, 8, 7, 0.75},
+		{7.999, 8, 7, 0.999},
+	}
+	for _, c := range cases {
+		i, f := SplitIndex(c.x, c.n)
+		if i != c.i || math.Abs(f-c.frac) > 1e-9 {
+			t.Errorf("SplitIndex(%g,%d) = (%d,%g) want (%d,%g)", c.x, c.n, i, f, c.i, c.frac)
+		}
+	}
+}
+
+// sampleGrid fills a grid with fn evaluated at integer coordinates.
+func sampleGrid(n [3]int, fn func(x, y, z float64) float64) []float64 {
+	f := make([]float64, n[0]*n[1]*n[2])
+	idx := 0
+	for i := 0; i < n[0]; i++ {
+		for j := 0; j < n[1]; j++ {
+			for k := 0; k < n[2]; k++ {
+				f[idx] = fn(float64(i), float64(j), float64(k))
+				idx++
+			}
+		}
+	}
+	return f
+}
+
+func TestEvalPeriodicExactAtNodes(t *testing.T) {
+	n := [3]int{6, 5, 7}
+	rng := rand.New(rand.NewSource(1))
+	f := make([]float64, n[0]*n[1]*n[2])
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	idx := 0
+	for i := 0; i < n[0]; i++ {
+		for j := 0; j < n[1]; j++ {
+			for k := 0; k < n[2]; k++ {
+				got := EvalPeriodic(f, n, [3]float64{float64(i), float64(j), float64(k)})
+				if math.Abs(got-f[idx]) > 1e-12 {
+					t.Fatalf("node (%d,%d,%d): %g want %g", i, j, k, got, f[idx])
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestEvalPeriodicTrigConvergence(t *testing.T) {
+	// Tricubic interpolation of a smooth periodic function converges at
+	// fourth order: doubling resolution should shrink the error ~16x.
+	errAt := func(n int) float64 {
+		dims := [3]int{n, n, n}
+		h := 2 * math.Pi / float64(n)
+		f := sampleGrid(dims, func(x, y, z float64) float64 {
+			return math.Sin(x*h) * math.Cos(y*h) * math.Sin(z*h)
+		})
+		rng := rand.New(rand.NewSource(7))
+		maxErr := 0.0
+		for trial := 0; trial < 200; trial++ {
+			p := [3]float64{rng.Float64() * float64(n), rng.Float64() * float64(n), rng.Float64() * float64(n)}
+			got := EvalPeriodic(f, dims, p)
+			want := math.Sin(p[0]*h) * math.Cos(p[1]*h) * math.Sin(p[2]*h)
+			if e := math.Abs(got - want); e > maxErr {
+				maxErr = e
+			}
+		}
+		return maxErr
+	}
+	e8, e16 := errAt(8), errAt(16)
+	ratio := e8 / e16
+	if ratio < 8 {
+		t.Errorf("convergence ratio %g (errors %g -> %g), want >= 8 (4th order ~16)", ratio, e8, e16)
+	}
+}
+
+func TestLinearLessAccurateThanCubic(t *testing.T) {
+	n := 16
+	dims := [3]int{n, n, n}
+	h := 2 * math.Pi / float64(n)
+	f := sampleGrid(dims, func(x, y, z float64) float64 {
+		return math.Sin(x*h) * math.Sin(y*h) * math.Sin(z*h)
+	})
+	rng := rand.New(rand.NewSource(3))
+	var cubErr, linErr float64
+	for trial := 0; trial < 300; trial++ {
+		p := [3]float64{rng.Float64() * float64(n), rng.Float64() * float64(n), rng.Float64() * float64(n)}
+		want := math.Sin(p[0]*h) * math.Sin(p[1]*h) * math.Sin(p[2]*h)
+		if e := math.Abs(EvalPeriodic(f, dims, p) - want); e > cubErr {
+			cubErr = e
+		}
+		if e := math.Abs(EvalPeriodicLinear(f, dims, p) - want); e > linErr {
+			linErr = e
+		}
+	}
+	if cubErr*5 > linErr {
+		t.Errorf("cubic err %g should be much smaller than linear err %g", cubErr, linErr)
+	}
+}
+
+func TestEvalPeriodicWrapsCorrectly(t *testing.T) {
+	// A translated query across the periodic boundary must equal the query
+	// shifted by n.
+	n := [3]int{8, 8, 8}
+	rng := rand.New(rand.NewSource(9))
+	f := make([]float64, 512)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := [3]float64{rng.Float64() * 8, rng.Float64() * 8, rng.Float64() * 8}
+		q := [3]float64{p[0] - 8, p[1] + 8, p[2] - 16}
+		a, b := EvalPeriodic(f, n, p), EvalPeriodic(f, n, q)
+		if math.Abs(a-b) > 1e-11 {
+			t.Fatalf("periodicity violated: %g vs %g at %v", a, b, p)
+		}
+	}
+}
+
+func BenchmarkEvalPeriodic(b *testing.B) {
+	n := [3]int{32, 32, 32}
+	f := make([]float64, 32*32*32)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	pts := make([][3]float64, 1024)
+	for i := range pts {
+		pts[i] = [3]float64{rng.Float64() * 32, rng.Float64() * 32, rng.Float64() * 32}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalPeriodic(f, n, pts[i%len(pts)])
+	}
+}
+
+func TestBSplineWeightsPartitionOfUnity(t *testing.T) {
+	for _, tt := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.999} {
+		w := BSplineWeights(tt)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+			if v < 0 {
+				t.Errorf("t=%g: negative weight %g", tt, v)
+			}
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("t=%g: weights sum to %g", tt, sum)
+		}
+	}
+}
+
+func TestBSplineSymbolRange(t *testing.T) {
+	// The sampling symbol is bounded in [1/3, 1]: the prefilter is well
+	// conditioned at every wavenumber.
+	for n := 4; n <= 32; n *= 2 {
+		for k := -n / 2; k <= n/2; k++ {
+			s := BSplineSymbol(k, n)
+			if s < 1.0/3-1e-12 || s > 1+1e-12 {
+				t.Errorf("symbol(%d,%d) = %g out of [1/3, 1]", k, n, s)
+			}
+		}
+	}
+	if math.Abs(BSplineSymbol(0, 8)-1) > 1e-12 {
+		t.Errorf("DC symbol %g want 1", BSplineSymbol(0, 8))
+	}
+}
+
+func TestBSplineNoOvershoot(t *testing.T) {
+	// The B-spline weights are nonnegative, so the interpolant stays
+	// within the coefficient range — unlike the Lagrange kernel, which
+	// overshoots near steps.
+	n := [3]int{8, 8, 8}
+	c := make([]float64, 512)
+	for i := range c {
+		if i%2 == 0 {
+			c[i] = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		p := [3]float64{rng.Float64() * 8, rng.Float64() * 8, rng.Float64() * 8}
+		v := EvalPeriodicBSpline(c, n, p)
+		if v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("overshoot: %g at %v", v, p)
+		}
+	}
+}

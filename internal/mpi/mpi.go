@@ -1,0 +1,373 @@
+// Package mpi implements an in-process message-passing runtime with the
+// subset of MPI semantics used by the registration solver: point-to-point
+// send/receive, barriers, broadcast, reductions, gather, all-to-all
+// (including the variable-count flavor), and communicator splitting.
+//
+// Ranks are goroutines inside a single OS process. The package exists so
+// that the distributed algorithms of the paper (pencil-decomposed FFT
+// transposes, semi-Lagrangian scatter plans, ghost-layer exchanges) can be
+// implemented with their real communication structure. Every operation is
+// additionally charged against a latency/bandwidth cost model so that the
+// communication columns of the paper's tables can be regenerated from the
+// exact message counts and volumes the algorithms produce.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Phase labels the solver phase to which communication cost is attributed.
+// The paper's tables report exactly the first four categories.
+type Phase int
+
+const (
+	PhaseOther Phase = iota
+	PhaseFFTComm
+	PhaseFFTExec
+	PhaseInterpComm
+	PhaseInterpExec
+	numPhases
+)
+
+// String returns the human-readable phase name used in reports.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFFTComm:
+		return "fft-comm"
+	case PhaseFFTExec:
+		return "fft-exec"
+	case PhaseInterpComm:
+		return "interp-comm"
+	case PhaseInterpExec:
+		return "interp-exec"
+	default:
+		return "other"
+	}
+}
+
+// CostModel holds the machine constants of the classical latency/bandwidth
+// (Hockney) model: a message of n bytes costs Ts + Tw*n seconds.
+type CostModel struct {
+	Ts float64 // latency per message, seconds
+	Tw float64 // reciprocal bandwidth, seconds per byte
+}
+
+// DefaultCostModel mirrors a 2016-era fat-tree interconnect (FDR
+// InfiniBand): ~2 microseconds latency, ~6 GB/s effective point-to-point
+// bandwidth. perfmodel recalibrates these from measured runs.
+func DefaultCostModel() CostModel { return CostModel{Ts: 2e-6, Tw: 1.0 / 6e9} }
+
+// message is a single point-to-point payload in flight.
+type message struct {
+	commID int
+	src    int // rank within the communicator
+	tag    int
+	data   any
+	bytes  int
+}
+
+// mailbox holds delivered-but-unreceived messages for one world rank.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (commID, src, tag) is available and
+// removes it from the queue.
+func (m *mailbox) take(commID, src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.commID == commID && msg.src == src && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is the shared state of one parallel run: the mailboxes of all
+// ranks plus communicator-ID bookkeeping.
+type World struct {
+	size  int
+	boxes []*mailbox
+	cost  CostModel
+
+	idMu  sync.Mutex
+	idMap map[string]int
+	idSeq int
+}
+
+// commID returns a process-wide communicator ID for the agreed-upon key.
+// All members of a split derive the same key deterministically, so the
+// first caller allocates and the rest observe the same ID.
+func (w *World) commID(key string) int {
+	w.idMu.Lock()
+	defer w.idMu.Unlock()
+	if id, ok := w.idMap[key]; ok {
+		return id
+	}
+	w.idSeq++
+	w.idMap[key] = w.idSeq
+	return w.idSeq
+}
+
+// Stats accumulates per-rank communication statistics and algorithmic
+// operation counts (the inputs of the performance model in perfmodel).
+type Stats struct {
+	Messages     [numPhases]int64
+	BytesRecv    [numPhases]int64
+	ModeledComm  [numPhases]float64 // seconds charged by the cost model
+	MeasuredExec [numPhases]float64 // seconds recorded by AddExec
+
+	FFTs         int64 // 3D transforms performed (forward or inverse)
+	InterpSweeps int64 // off-grid interpolation passes over a field
+	InterpPoints int64 // tricubic point evaluations
+}
+
+// TotalModeled returns the modeled communication time summed over phases.
+func (s *Stats) TotalModeled() float64 {
+	t := 0.0
+	for _, v := range s.ModeledComm {
+		t += v
+	}
+	return t
+}
+
+// Comm is one rank's view of a communicator.
+type Comm struct {
+	world *World
+	id    int
+	rank  int   // rank within this communicator
+	group []int // communicator rank -> world rank
+	phase Phase
+	stats *Stats
+
+	splitSeq int // number of Split calls issued on this communicator
+}
+
+// Run executes fn concurrently on p ranks and blocks until all complete.
+// It returns the first non-nil error (if any) and the per-rank stats.
+func Run(p int, cost CostModel, fn func(c *Comm) error) ([]*Stats, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("mpi: world size %d < 1", p)
+	}
+	w := &World{size: p, cost: cost, idMap: map[string]int{}}
+	w.boxes = make([]*mailbox, p)
+	group := make([]int, p)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+		group[i] = i
+	}
+	stats := make([]*Stats, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	var panicVal atomic.Value
+	for r := 0; r < p; r++ {
+		stats[r] = &Stats{}
+		c := &Comm{world: w, id: 0, rank: r, group: group, stats: stats[r]}
+		wg.Add(1)
+		go func(r int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					panicVal.Store(fmt.Sprintf("rank %d: %v", r, v))
+				}
+			}()
+			errs[r] = fn(c)
+		}(r, c)
+	}
+	wg.Wait()
+	if v := panicVal.Load(); v != nil {
+		return stats, fmt.Errorf("mpi: panic in %s", v)
+	}
+	for r, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("mpi: rank %d: %w", r, err)
+		}
+	}
+	return stats, nil
+}
+
+// Rank returns this rank's index within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns this rank's index in the top-level world.
+func (c *Comm) WorldRank() int { return c.group[c.rank] }
+
+// SetPhase selects the phase to which subsequent communication cost is
+// charged and returns the previous phase so callers can restore it.
+func (c *Comm) SetPhase(p Phase) Phase {
+	old := c.phase
+	c.phase = p
+	return old
+}
+
+// AddExec records measured execution (computation) time for a phase.
+func (c *Comm) AddExec(p Phase, seconds float64) { c.stats.MeasuredExec[p] += seconds }
+
+// CountFFT records one distributed 3D transform.
+func (c *Comm) CountFFT() { c.stats.FFTs++ }
+
+// CountInterp records one interpolation sweep evaluating n points.
+func (c *Comm) CountInterp(n int64) {
+	c.stats.InterpSweeps++
+	c.stats.InterpPoints += n
+}
+
+// Stats returns this rank's accumulated statistics.
+func (c *Comm) Stats() *Stats { return c.stats }
+
+// payloadBytes estimates the wire size of a payload for the cost model.
+func payloadBytes(data any) int {
+	switch d := data.(type) {
+	case []float64:
+		return 8 * len(d)
+	case []complex128:
+		return 16 * len(d)
+	case []int:
+		return 8 * len(d)
+	case []byte:
+		return len(d)
+	case float64, int, int64:
+		return 8
+	case nil:
+		return 0
+	default:
+		return 64 // opaque struct; charged a nominal size
+	}
+}
+
+// clonePayload copies slice payloads so sender and receiver never alias.
+func clonePayload(data any) any {
+	switch d := data.(type) {
+	case []float64:
+		out := make([]float64, len(d))
+		copy(out, d)
+		return out
+	case []complex128:
+		out := make([]complex128, len(d))
+		copy(out, d)
+		return out
+	case []int:
+		out := make([]int, len(d))
+		copy(out, d)
+		return out
+	case []byte:
+		out := make([]byte, len(d))
+		copy(out, d)
+		return out
+	default:
+		return data
+	}
+}
+
+// Send delivers data to dest (rank within this communicator) with the given
+// tag. Sends are buffered and never block.
+func (c *Comm) Send(dest, tag int, data any) {
+	if dest < 0 || dest >= len(c.group) {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dest, len(c.group)))
+	}
+	n := payloadBytes(data)
+	msg := message{commID: c.id, src: c.rank, tag: tag, data: clonePayload(data), bytes: n}
+	c.world.boxes[c.group[dest]].put(msg)
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Communication cost is charged to the current phase
+// on the receiving rank.
+func (c *Comm) Recv(src, tag int) any {
+	if src < 0 || src >= len(c.group) {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d (size %d)", src, len(c.group)))
+	}
+	msg := c.world.boxes[c.group[c.rank]].take(c.id, src, tag)
+	c.charge(msg.bytes)
+	return msg.data
+}
+
+// charge records one received message of n bytes against the cost model.
+func (c *Comm) charge(n int) {
+	c.stats.Messages[c.phase]++
+	c.stats.BytesRecv[c.phase] += int64(n)
+	c.stats.ModeledComm[c.phase] += c.world.cost.Ts + c.world.cost.Tw*float64(n)
+}
+
+// SendRecvFloat64 exchanges float64 slices with two (possibly distinct)
+// partners in a single step, which is safe because sends never block.
+func (c *Comm) SendRecvFloat64(dest, destTag int, data []float64, src, srcTag int) []float64 {
+	c.Send(dest, destTag, data)
+	return c.Recv(src, srcTag).([]float64)
+}
+
+// Split partitions the communicator by color. Ranks passing the same color
+// form a new communicator ordered by (key, rank). All members of the parent
+// must call Split collectively the same number of times.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	all := make([]entry, c.Size())
+	mine := entry{color: color, key: key, rank: c.rank}
+	// Allgather of the (color, key) triples via flat float64 encoding.
+	enc := []float64{float64(color), float64(key), float64(c.rank)}
+	gathered := c.Allgather(enc)
+	for i := 0; i < c.Size(); i++ {
+		all[i] = entry{int(gathered[3*i]), int(gathered[3*i+1]), int(gathered[3*i+2])}
+	}
+	_ = mine
+	var members []entry
+	for _, e := range all {
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	// Stable order by (key, rank).
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0; j-- {
+			a, b := members[j-1], members[j]
+			if b.key < a.key || (b.key == a.key && b.rank < a.rank) {
+				members[j-1], members[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	group := make([]int, len(members))
+	newRank := -1
+	for i, e := range members {
+		group[i] = c.group[e.rank]
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+	c.splitSeq++
+	key2 := fmt.Sprintf("%d/%d/%d", c.id, c.splitSeq, color)
+	id := c.world.commID(key2)
+	return &Comm{
+		world: c.world,
+		id:    id,
+		rank:  newRank,
+		group: group,
+		phase: c.phase,
+		stats: c.stats,
+	}
+}

@@ -1,0 +1,194 @@
+package optim
+
+import "math"
+
+// NewtonOptions controls the inexact (Gauss-)Newton-Krylov driver. The
+// defaults mirror the paper's setup: relative gradient tolerance 1e-2,
+// at most 50 outer iterations, quadratic forcing capped at 0.5.
+type NewtonOptions struct {
+	GradTol       float64 // stop when ||g|| <= GradTol * ||g0||
+	AbsGradTol    float64 // additional absolute gradient floor
+	MaxIters      int     // maximum Newton iterations
+	MaxKrylov     int     // maximum PCG iterations per Newton step
+	ForcingCap    float64 // upper bound for the forcing term
+	MaxLineSearch int     // maximum Armijo halvings
+	ArmijoC1      float64 // sufficient decrease constant
+	Log           func(format string, args ...any)
+}
+
+// DefaultNewtonOptions returns the paper's solver parameters (§IV-A3).
+func DefaultNewtonOptions() NewtonOptions {
+	return NewtonOptions{
+		GradTol:       1e-2,
+		AbsGradTol:    1e-12,
+		MaxIters:      50,
+		MaxKrylov:     200,
+		ForcingCap:    0.5,
+		MaxLineSearch: 20,
+		ArmijoC1:      1e-4,
+	}
+}
+
+// IterRecord captures one outer iteration for reporting.
+type IterRecord struct {
+	Iter      int
+	J         float64
+	Misfit    float64
+	Gnorm     float64
+	Forcing   float64
+	CGIters   int
+	Step      float64
+	LineTrial int
+}
+
+// Result summarizes a Newton (or steepest descent) solve.
+type Result[T Vec[T]] struct {
+	V          T
+	Iters      int
+	JInit      float64
+	JFinal     float64
+	MisfitInit float64
+	MisfitLast float64
+	GnormInit  float64
+	GnormLast  float64
+	Converged  bool
+	History    []IterRecord
+}
+
+func (o *NewtonOptions) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// GaussNewton minimizes the registration objective with the paper's
+// line-search globalized, preconditioned, inexact Newton-Krylov scheme.
+// Whether the Hessian is the Gauss-Newton or the full Newton one is
+// selected by the problem options. v0 is the initial guess (it is
+// projected onto the divergence-free space for incompressible problems).
+func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
+	v := p.Project(v0.Clone())
+	res := &Result[T]{}
+	for iter := 0; ; iter++ {
+		e := p.EvalGradient(v)
+		if iter == 0 {
+			res.JInit = e.J
+			res.MisfitInit = e.Misfit
+			res.GnormInit = e.Gnorm
+		}
+		res.JFinal = e.J
+		res.MisfitLast = e.Misfit
+		res.GnormLast = e.Gnorm
+		res.Iters = iter
+		res.V = v
+		if e.Gnorm <= opt.GradTol*res.GnormInit || e.Gnorm <= opt.AbsGradTol {
+			res.Converged = true
+			break
+		}
+		if iter >= opt.MaxIters {
+			break
+		}
+
+		// Quadratic Eisenstat-Walker forcing (inexact Newton): the Krylov
+		// tolerance tightens as the gradient decays.
+		eta := math.Min(opt.ForcingCap, e.Gnorm/res.GnormInit)
+
+		rhs := e.G.Clone()
+		rhs.Scale(-1)
+		dir, cg := PCG(p.HessMatVec, p.ApplyPrec, rhs, eta, opt.MaxKrylov)
+		slope := e.G.Dot(dir)
+		if slope >= 0 || (cg.Iters == 0 && cg.Indefinite) {
+			// Not a descent direction (can happen with a truncated solve);
+			// fall back to the preconditioned gradient.
+			dir = p.ApplyPrec(rhs)
+			slope = e.G.Dot(dir)
+		}
+
+		alpha, trials := armijo(p, v, dir, e.J, slope, opt)
+		rec := IterRecord{
+			Iter: iter, J: e.J, Misfit: e.Misfit, Gnorm: e.Gnorm,
+			Forcing: eta, CGIters: cg.Iters, Step: alpha, LineTrial: trials,
+		}
+		res.History = append(res.History, rec)
+		opt.logf("newton %2d: J=%.6e misfit=%.6e ||g||=%.3e eta=%.2e cg=%d alpha=%.3g",
+			iter, e.J, e.Misfit, e.Gnorm, eta, cg.Iters, alpha)
+		if alpha == 0 {
+			// Line search failed: no further progress possible.
+			break
+		}
+		v = v.Clone()
+		v.Axpy(alpha, dir)
+	}
+	return res
+}
+
+// armijo backtracks from a full step until the sufficient decrease
+// condition J(v + a d) <= J(v) + c1 a <g, d> holds. Returns the accepted
+// step (0 on failure) and the number of trials.
+func armijo[T Vec[T]](p Objective[T], v, dir T, j0, slope float64, opt NewtonOptions) (float64, int) {
+	alpha := 1.0
+	for trial := 1; trial <= opt.MaxLineSearch; trial++ {
+		cand := v.Clone()
+		cand.Axpy(alpha, dir)
+		if p.Evaluate(cand).J <= j0+opt.ArmijoC1*alpha*slope {
+			return alpha, trial
+		}
+		alpha /= 2
+	}
+	return 0, opt.MaxLineSearch
+}
+
+// SteepestDescent is the first-order baseline the paper contrasts against
+// ("steepest descent methods only have a linear convergence rate"): the
+// search direction is the preconditioned negative gradient.
+func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
+	v := p.Project(v0.Clone())
+	res := &Result[T]{}
+	for iter := 0; ; iter++ {
+		e := p.EvalGradient(v)
+		if iter == 0 {
+			res.JInit, res.MisfitInit, res.GnormInit = e.J, e.Misfit, e.Gnorm
+		}
+		res.JFinal, res.MisfitLast, res.GnormLast = e.J, e.Misfit, e.Gnorm
+		res.Iters = iter
+		res.V = v
+		if e.Gnorm <= opt.GradTol*res.GnormInit || e.Gnorm <= opt.AbsGradTol {
+			res.Converged = true
+			break
+		}
+		if iter >= opt.MaxIters {
+			break
+		}
+		dir := p.ApplyPrec(e.G)
+		dir.Scale(-1)
+		slope := e.G.Dot(dir)
+		alpha, trials := armijo(p, v, dir, e.J, slope, opt)
+		res.History = append(res.History, IterRecord{
+			Iter: iter, J: e.J, Misfit: e.Misfit, Gnorm: e.Gnorm, Step: alpha, LineTrial: trials,
+		})
+		opt.logf("sd %3d: J=%.6e ||g||=%.3e alpha=%.3g", iter, e.J, e.Gnorm, alpha)
+		if alpha == 0 {
+			break
+		}
+		v = v.Clone()
+		v.Axpy(alpha, dir)
+	}
+	return res
+}
+
+// Continuation runs the Newton solver over a decreasing schedule of
+// regularization weights, warm-starting each level from the previous
+// solution — the paper's "parameter continuation on beta" for the highly
+// nonlinear regime. setBeta mutates the problem's weight; betas must be
+// decreasing and the problem is left at the last value.
+func Continuation[T Vec[T]](p Objective[T], setBeta func(float64), v0 T, betas []float64, opt NewtonOptions) *Result[T] {
+	v := v0
+	var last *Result[T]
+	for _, b := range betas {
+		setBeta(b)
+		opt.logf("continuation: beta=%.3e", b)
+		last = GaussNewton(p, v, opt)
+		v = last.V
+	}
+	return last
+}

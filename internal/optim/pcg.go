@@ -1,0 +1,67 @@
+// Package optim provides the numerical optimization layer of the paper:
+// a matrix-free preconditioned conjugate gradient solver for the Newton
+// step, an Armijo line-search globalized inexact (Gauss-)Newton-Krylov
+// driver with Eisenstat-Walker quadratic forcing, a first-order
+// (preconditioned steepest descent) baseline, and parameter continuation
+// in the regularization weight beta. It plays the role PETSc/TAO plays in
+// the paper's implementation. The drivers are generic over the vector
+// type, so the same code optimizes stationary velocities (*field.Vector)
+// and time-varying velocity series (field.Series).
+package optim
+
+// CGResult reports how a PCG solve went.
+type CGResult struct {
+	Iters     int
+	RelRes    float64
+	Converged bool
+	// Indefinite is set when a direction of non-positive curvature was
+	// encountered; the current iterate is returned (truncated CG).
+	Indefinite bool
+}
+
+// PCG solves A x = b with preconditioned conjugate gradients, starting
+// from x = 0. matvec must be symmetric positive definite on the relevant
+// subspace and prec an SPD approximation of its inverse. The solve stops
+// when the residual norm drops below rtol times the initial residual norm
+// (inexact Newton: rtol is the forcing term) or after maxIter iterations.
+func PCG[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, CGResult) {
+	x := b.Clone()
+	x.Scale(0)
+	r := b.Clone() // r = b - A*0
+	res := CGResult{}
+	bnorm := r.NormL2()
+	if bnorm == 0 {
+		res.Converged = true
+		return x, res
+	}
+	z := prec(r)
+	p := z.Clone()
+	rz := r.Dot(z)
+	for res.Iters = 0; res.Iters < maxIter; res.Iters++ {
+		ap := matvec(p)
+		pap := p.Dot(ap)
+		if pap <= 0 {
+			res.Indefinite = true
+			break
+		}
+		alpha := rz / pap
+		x.Axpy(alpha, p)
+		r.Axpy(-alpha, ap)
+		rn := r.NormL2()
+		res.RelRes = rn / bnorm
+		if res.RelRes <= rtol {
+			res.Iters++
+			res.Converged = true
+			break
+		}
+		z = prec(r)
+		rzNew := r.Dot(z)
+		beta := rzNew / rz
+		rz = rzNew
+		// p = z + beta*p
+		pNew := z.Clone()
+		pNew.Axpy(beta, p)
+		p = pNew
+	}
+	return x, res
+}

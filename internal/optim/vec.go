@@ -1,0 +1,50 @@
+package optim
+
+// Vec is the vector-space interface the Krylov and Newton drivers need.
+// *field.Vector satisfies Vec[*field.Vector] directly; field.Series (the
+// stacked velocity coefficients of the time-varying extension) satisfies
+// Vec[field.Series]. The constraint is self-referential so that methods
+// return the concrete type without casts.
+type Vec[T any] interface {
+	Clone() T
+	Axpy(a float64, x T)
+	Scale(a float64)
+	Dot(x T) float64
+	NormL2() float64
+}
+
+// Objective is the reduced-space optimization problem: objective and
+// gradient evaluations, Hessian matvecs at the last gradient point, the
+// preconditioner, and the projection onto the feasible space (identity
+// for unconstrained problems, Leray for incompressible ones). It is the
+// same callback set the paper registers with TAO.
+type Objective[T Vec[T]] interface {
+	// Evaluate returns the objective value at v (one forward solve); used
+	// by the line search.
+	Evaluate(v T) ObjVals
+	// EvalGradient returns the objective and the reduced gradient at v,
+	// caching the state/adjoint trajectories for subsequent HessMatVec
+	// calls.
+	EvalGradient(v T) GradVals[T]
+	// HessMatVec applies the (Gauss-)Newton Hessian at the last
+	// EvalGradient point.
+	HessMatVec(w T) T
+	// ApplyPrec applies the spectral preconditioner.
+	ApplyPrec(r T) T
+	// Project maps onto the feasible space.
+	Project(v T) T
+}
+
+// ObjVals are the scalars of one objective evaluation.
+type ObjVals struct {
+	J      float64
+	Misfit float64
+}
+
+// GradVals are the results of one gradient evaluation.
+type GradVals[T any] struct {
+	J      float64
+	Misfit float64
+	G      T
+	Gnorm  float64
+}

@@ -1,0 +1,203 @@
+package paperbench
+
+import (
+	"strings"
+	"testing"
+
+	"diffreg/internal/core"
+	"diffreg/internal/perfmodel"
+)
+
+func TestRunMeasurementSynthetic(t *testing.T) {
+	cfg := scalingConfig()
+	out, err := RunMeasurement(cube(16), 2, SyntheticProblem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Counts.FFTs == 0 || out.Counts.InterpSweeps == 0 {
+		t.Errorf("no work counted: %+v", out.Counts)
+	}
+	if out.MisfitFinal >= out.MisfitInit {
+		t.Errorf("no misfit reduction")
+	}
+}
+
+func TestWorkloadCountsAreMeshIndependent(t *testing.T) {
+	// The core premise of the table regeneration: operation counts at a
+	// small grid carry over to large grids (fixed beta, fixed solver).
+	cfg := scalingConfig()
+	w16, _, err := measureWorkload(SyntheticProblem, cfg, cube(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w24, _, err := measureWorkload(SyntheticProblem, cfg, cube(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(w24.FFTs) / float64(w16.FFTs)
+	if ratio > 2 || ratio < 0.5 {
+		t.Errorf("FFT counts not mesh independent: %d vs %d", w16.FFTs, w24.FFTs)
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	rep, err := Table1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"#1", "#13", "strong scaling", "paper", "model", "measured"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "#19") || !strings.Contains(rep.Text, "1024x1024x1024") {
+		t.Errorf("table 2 incomplete:\n%s", rep.Text)
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	rep, err := Table3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "det(grad y)") {
+		t.Errorf("table 3 missing det check")
+	}
+	if !strings.Contains(rep.Text, "#24") {
+		t.Errorf("table 3 missing rows")
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	rep, err := Table4(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "256x300x256") {
+		t.Errorf("table 4 missing brain rows")
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	rep, err := Table5(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "beta") || !strings.Contains(rep.Text, "matvecs") {
+		t.Errorf("table 5 incomplete:\n%s", rep.Text)
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func() (Report, error)
+		want []string
+	}{
+		{"fig2", Figure2, []string{"isochoric", "NOT diffeomorphic"}},
+		{"fig3", Figure3, []string{"off-rank", "scattered"}},
+		{"fig4", Figure4, []string{"messages", "transpose"}},
+		{"fig5", func() (Report, error) { return Figure5("") }, []string{"rho_T", "residual"}},
+	} {
+		rep, err := tc.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, w := range tc.want {
+			if !strings.Contains(rep.Text, w) {
+				t.Errorf("%s missing %q:\n%s", tc.name, w, rep.Text)
+			}
+		}
+	}
+}
+
+func TestFigure67Quick(t *testing.T) {
+	rep, err := Figure67("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "diffeomorphic") {
+		t.Errorf("fig 6/7 missing diffeomorphism check:\n%s", rep.Text)
+	}
+	if strings.Contains(rep.Text, "WARNING") {
+		t.Errorf("fig 6/7 reports a problem:\n%s", rep.Text)
+	}
+}
+
+func TestFigureOutputsToDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Figure5(dir); err != nil {
+		t.Fatal(err)
+	}
+	// At least the template slice must exist.
+	if _, err := readDirCount(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readDirCount(dir string) (int, error) {
+	entries, err := dirEntries(dir)
+	if err != nil {
+		return 0, err
+	}
+	if len(entries) == 0 {
+		return 0, errNoFiles
+	}
+	return len(entries), nil
+}
+
+func TestModelAgreesWithPaperShape(t *testing.T) {
+	// The calibrated Table I model must land within 2x of every published
+	// row (most are much closer) — this bounds how far the reproduction
+	// can drift from the paper.
+	cfg := scalingConfig()
+	w0, _, err := measureWorkload(SyntheticProblem, cfg, cube(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := perfmodel.Calibrate("maverick", workloadAt(w0, cube(128), 16), perfmodel.MaverickCalibration())
+	for _, r := range tableIRows {
+		b := perfmodel.Predict(workloadAt(w0, r.n, r.tasks), m)
+		ratio := b.TimeToSolution / r.total
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: model %g vs paper %g (ratio %.2f)", r.id, b.TimeToSolution, r.total, ratio)
+		}
+	}
+}
+
+func TestMeasuredScalingReducesPerRankWork(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SkipMap = true
+	out1, err := RunMeasurement(cube(16), 1, SyntheticProblem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4, err := RunMeasurement(cube(16), 4, SyntheticProblem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := out1.Phases.FFTExec + out1.Phases.InterpExec
+	e4 := out4.Phases.FFTExec + out4.Phases.InterpExec
+	if e4 >= e1 {
+		t.Errorf("per-rank exec did not shrink: %g -> %g", e1, e4)
+	}
+}
+
+func TestTable5ExtQuick(t *testing.T) {
+	rep, err := Table5Ext(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"inverse-reg", "two-level", "beta"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("table 5ext missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package paperbench
+
+import (
+	"fmt"
+	"strings"
+
+	"diffreg/internal/core"
+	"diffreg/internal/perfmodel"
+)
+
+// tableIRows are the published Maverick results (synthetic problem, no
+// incompressibility constraint, 16 tasks per node).
+var tableIRows = []paperRow{
+	{"#1", cube(64), 1, 16, 1.54, 1.20e-1, 9.69e-2, 1.82e-1, 8.20e-1},
+	{"#2", cube(64), 2, 32, 9.50e-1, 1.42e-1, 4.88e-2, 1.15e-1, 4.27e-1},
+	{"#3", cube(128), 1, 16, 1.52e1, 1.73, 1.35, 1.84, 6.66},
+	{"#4", cube(128), 2, 32, 7.88, 1.30, 5.47e-1, 1.17, 3.49},
+	{"#5", cube(128), 4, 64, 4.70, 1.19, 2.83e-1, 5.43e-1, 1.87},
+	{"#6", cube(128), 16, 256, 2.01, 6.68e-1, 6.60e-2, 1.86e-1, 4.91e-1},
+	{"#7", cube(256), 2, 32, 7.99e1, 1.44e1, 1.01e1, 1.08e1, 2.83e1},
+	{"#8", cube(256), 8, 128, 2.30e1, 7.27, 1.56, 2.60, 8.04},
+	{"#9", cube(256), 32, 512, 7.23, 2.67, 3.38e-1, 5.93e-1, 2.00},
+	{"#10", cube(256), 64, 1024, 4.72, 1.70, 1.72e-1, 4.80e-1, 1.04},
+	{"#11", cube(512), 8, 128, 1.91e2, 4.50e1, 2.38e1, 2.18e1, 6.89e1},
+	{"#12", cube(512), 32, 512, 6.07e1, 1.90e1, 4.18, 4.22, 1.74e1},
+	{"#13", cube(512), 64, 1024, 3.29e1, 1.28e1, 1.77, 2.33, 8.57},
+}
+
+// tableIIRows are the published Stampede results (2 tasks per node).
+var tableIIRows = []paperRow{
+	{"#14", cube(512), 256, 512, 3.84e1, 4.61, 2.62, 4.12, 1.98e1},
+	{"#15", cube(512), 512, 1024, 2.02e1, 2.23, 1.30, 2.38, 9.42},
+	{"#16", cube(512), 1024, 2048, 1.31e1, 1.69, 6.29e-1, 1.25, 4.83},
+	{"#17", cube(1024), 256, 512, 3.54e2, 3.29e1, 3.10e1, 3.72e1, 1.93e2},
+	{"#18", cube(1024), 512, 1024, 1.69e2, 2.23e1, 1.39e1, 1.79e1, 8.85e1},
+	{"#19", cube(1024), 1024, 2048, 8.57e1, 1.15e1, 6.75, 8.78, 4.42e1},
+}
+
+// tableIIIRows are the published incompressible 128^3 results (Maverick,
+// 2 tasks per node). The nonzero interpolation "communication" at 1 task
+// in the paper is the local pack/copy overhead their timer attributes to
+// the communication phase; our model charges pure message cost, so it
+// reports 0 there.
+var tableIIIRows = []paperRow{
+	{"#20", cube(128), 1, 1, 1.48e2, 0, 1.98e1, 2.82, 9.26e1},
+	{"#21", cube(128), 2, 4, 4.27e1, 3.18, 5.73, 8.39e-1, 2.31e1},
+	{"#22", cube(128), 4, 8, 2.25e1, 2.17, 2.72, 5.83e-1, 1.15e1},
+	{"#23", cube(128), 8, 16, 1.09e1, 1.10, 1.25, 4.03e-1, 5.80},
+	{"#24", cube(128), 16, 32, 5.69, 6.69e-1, 6.20e-1, 2.68e-1, 2.93},
+}
+
+// tableIVRows are the published brain-image strong-scaling results
+// (256x300x256, beta = 1e-2, two Newton iterations, Maverick).
+var tableIVRows = []paperRow{
+	{"#25", [3]int{256, 300, 256}, 1, 1, 1.34e3, 0, 2.59e2, 2.70e1, 7.72e2},
+	{"#26", [3]int{256, 300, 256}, 2, 4, 3.92e2, 2.76e1, 6.91e1, 5.73, 1.90e2},
+	{"#27", [3]int{256, 300, 256}, 8, 16, 9.54e1, 8.59, 1.38e1, 1.20, 4.78e1},
+	{"#28", [3]int{256, 300, 256}, 16, 32, 4.85e1, 4.94, 6.50, 5.35e-1, 2.36e1},
+	{"#29", [3]int{256, 300, 256}, 32, 256, 1.20e1, 4.03, 1.10, 8.77e-2, 3.31},
+}
+
+// modelTable renders a paper-vs-model comparison for a published table.
+func modelTable(rows []paperRow, w0 perfmodel.Workload, m perfmodel.Machine) string {
+	var b strings.Builder
+	rowHeader(&b)
+	for _, r := range rows {
+		w := w0
+		w.N = r.n
+		w.P = r.tasks
+		compareRow(&b, r, perfmodel.Predict(w, m))
+	}
+	return b.String()
+}
+
+// measuredScaling runs real solves at container scale and reports the
+// per-rank busy-time proxy (max over ranks of measured execution plus
+// modeled communication), which is what the wall clock would be on a
+// machine with one core per rank.
+func measuredScaling(n [3]int, tasks []int, prob Problem, cfg core.Config) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "measured on this implementation (grid %dx%dx%d, goroutine ranks):\n", n[0], n[1], n[2])
+	fmt.Fprintf(&b, "%6s | %10s %10s %10s %10s | %12s | %8s\n",
+		"tasks", "fft-comm", "fft-exec", "int-comm", "int-exec", "busy-time", "newton")
+	base := 0.0
+	for _, p := range tasks {
+		out, err := RunMeasurement(n, p, prob, cfg)
+		if err != nil {
+			return "", err
+		}
+		ph := out.Phases
+		busy := ph.FFTComm + ph.FFTExec + ph.InterpComm + ph.InterpExec
+		if base == 0 {
+			base = busy * float64(tasks[0])
+		}
+		fmt.Fprintf(&b, "%6d | %10.4f %10.4f %10.4f %10.4f | %12.4f | %8d\n",
+			p, ph.FFTComm, ph.FFTExec, ph.InterpComm, ph.InterpExec, busy, out.Counts.NewtonIters)
+	}
+	return b.String(), nil
+}
+
+// Table1 regenerates Table I: synthetic strong and weak scaling on the
+// Maverick machine model, plus a measured mini-scaling on this machine.
+// quick restricts the measured section for use inside benchmarks.
+func Table1(quick bool) (Report, error) {
+	cfg := scalingConfig()
+	w0, _, err := measureWorkload(SyntheticProblem, cfg, cube(32))
+	if err != nil {
+		return Report{}, err
+	}
+	m := perfmodel.Calibrate("maverick", workloadAt(w0, cube(128), 16), perfmodel.MaverickCalibration())
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload (measured at 32^3, mesh-independent): %d FFTs, %d interpolation sweeps\n",
+		w0.FFTs, w0.InterpSweeps)
+	fmt.Fprintf(&b, "machine model calibrated on run #3; all other rows are predictions\n\n")
+	b.WriteString(modelTable(tableIRows, w0, m))
+
+	// Headline strong-scaling efficiencies (paper: 67%% for 32->512 tasks,
+	// 50%% for 32->1024 on the 256^3 problem).
+	t32 := perfmodel.Predict(workloadAt(w0, cube(256), 32), m).TimeToSolution
+	t512 := perfmodel.Predict(workloadAt(w0, cube(256), 512), m).TimeToSolution
+	t1024 := perfmodel.Predict(workloadAt(w0, cube(256), 1024), m).TimeToSolution
+	fmt.Fprintf(&b, "\nstrong scaling 256^3: eff(32->512)=%.0f%% (paper 67%%), eff(32->1024)=%.0f%% (paper 50%%)\n",
+		100*perfmodel.Efficiency(t32, 32, t512, 512), 100*perfmodel.Efficiency(t32, 32, t1024, 1024))
+
+	tasks := []int{1, 2, 4}
+	nMeas := cube(32)
+	if quick {
+		tasks = []int{1, 2}
+		nMeas = cube(16)
+	}
+	meas, err := measuredScaling(nMeas, tasks, SyntheticProblem, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	b.WriteString("\n")
+	b.WriteString(meas)
+	return Report{ID: "table1", Title: "Table I: synthetic scaling (Maverick)", Text: b.String()}, nil
+}
+
+// Table2 regenerates Table II: large-scale synthetic runs on the Stampede
+// machine model (512^3 and 1024^3 on up to 2048 tasks).
+func Table2() (Report, error) {
+	cfg := scalingConfig()
+	w0, _, err := measureWorkload(SyntheticProblem, cfg, cube(32))
+	if err != nil {
+		return Report{}, err
+	}
+	m := perfmodel.Calibrate("stampede", workloadAt(w0, cube(512), 1024), perfmodel.StampedeCalibration())
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine model calibrated on run #15; all other rows are predictions\n\n")
+	b.WriteString(modelTable(tableIIRows, w0, m))
+	return Report{ID: "table2", Title: "Table II: large-scale synthetic runs (Stampede)", Text: b.String()}, nil
+}
+
+// Table3 regenerates Table III: the incompressible (volume preserving)
+// 128^3 runs. The workload counts come from a real incompressible solve;
+// the machine model is the Table I Maverick calibration, so the agreement
+// here is a genuine cross-check rather than a fit.
+func Table3(quick bool) (Report, error) {
+	cfg := scalingConfig()
+	cfg.Opt.Incompressible = true
+	cfg.SkipMap = false // keep the map so det(grad y) can be reported
+	nMeas := cube(32)
+	if quick {
+		nMeas = cube(16)
+	}
+	wInc, outInc, err := measureWorkload(SyntheticIncompressible, cfg, nMeas)
+	if err != nil {
+		return Report{}, err
+	}
+	cfgC := scalingConfig()
+	wCmp, _, err := measureWorkload(SyntheticProblem, cfgC, nMeas)
+	if err != nil {
+		return Report{}, err
+	}
+	m := perfmodel.Calibrate("maverick", workloadAt(wCmp, cube(128), 16), perfmodel.MaverickCalibration())
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "incompressible workload: %d FFTs, %d sweeps (unconstrained case: %d FFTs, %d sweeps)\n",
+		wInc.FFTs, wInc.InterpSweeps, wCmp.FFTs, wCmp.InterpSweeps)
+	fmt.Fprintf(&b, "machine model from Table I calibration (cross-check, not a fit)\n\n")
+	b.WriteString(modelTable(tableIIIRows, wInc, m))
+	fmt.Fprintf(&b, "\nmeasured det(grad y) on the incompressible solve: [%.4f, %.4f] (volume preserving)\n",
+		outInc.DetMin, outInc.DetMax)
+	return Report{ID: "table3", Title: "Table III: incompressible 128^3 runs (Maverick)", Text: b.String()}, nil
+}
+
+// brainGrid scales the 256x300x256 brain grid down by the given factor for
+// container-feasible measurement runs.
+func brainGrid(scale int) [3]int {
+	return [3]int{256 / scale, 300 / scale, 256 / scale}
+}
+
+// Table4 regenerates Table IV: brain-image strong scaling at beta = 1e-2
+// with two Newton iterations.
+func Table4(quick bool) (Report, error) {
+	cfg := scalingConfig()
+	cfg.Newton.MaxIters = 2
+	cfg.Newton.GradTol = 1e-12 // force exactly two iterations, as the paper does
+	nMeas := brainGrid(8)      // 32x37x32
+	if quick {
+		nMeas = brainGrid(16)
+	}
+	w0, _, err := measureWorkload(BrainProblem, cfg, nMeas)
+	if err != nil {
+		return Report{}, err
+	}
+	mCmp, _, err := measureWorkload(SyntheticProblem, scalingConfig(), cube(32))
+	if err != nil {
+		return Report{}, err
+	}
+	m := perfmodel.Calibrate("maverick", workloadAt(mCmp, cube(128), 16), perfmodel.MaverickCalibration())
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "brain workload (2 Newton iterations): %d FFTs, %d sweeps; machine model from Table I\n",
+		w0.FFTs, w0.InterpSweeps)
+	fmt.Fprintf(&b, "brain phantom substitutes for NIREP na01/na02 (see DESIGN.md)\n\n")
+	b.WriteString(modelTable(tableIVRows, w0, m))
+	meas, err := measuredScaling(nMeas, []int{1, 2, 4}, BrainProblem, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	b.WriteString("\n")
+	b.WriteString(meas)
+	return Report{ID: "table4", Title: "Table IV: brain strong scaling (Maverick)", Text: b.String()}, nil
+}
+
+// Table5 regenerates Table V: sensitivity of the computational work to the
+// regularization weight. This table is reproduced by real solves: the
+// Hessian matvec count is a resolution-independent algorithmic quantity.
+func Table5(quick bool) (Report, error) {
+	type row struct {
+		beta    float64
+		matvecs int
+		seconds float64
+	}
+	paper := []row{{1e-1, 43, 2.42e1}, {1e-3, 217, 1.11e2}, {1e-5, 1689, 8.58e2}}
+	betas := []float64{1e-1, 1e-3, 1e-5}
+	n := brainGrid(8)
+	if quick {
+		betas = []float64{1e-1, 1e-3}
+		n = brainGrid(16)
+	}
+	var got []row
+	for _, beta := range betas {
+		cfg := scalingConfig()
+		cfg.Opt.Beta = beta
+		cfg.Newton.MaxIters = 4
+		cfg.Newton.GradTol = 1e-14 // fixed 4 Newton iterations, as in Table V
+		cfg.Newton.MaxKrylov = 2000
+		out, err := RunMeasurement(n, 1, BrainProblem, cfg)
+		if err != nil {
+			return Report{}, err
+		}
+		got = append(got, row{beta, out.Counts.Matvecs, out.Phases.TimeToSolution})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "four Newton iterations on the brain pair (measured at %dx%dx%d)\n\n", n[0], n[1], n[2])
+	fmt.Fprintf(&b, "%10s | %18s | %24s\n", "beta", "matvecs", "time (relative)")
+	fmt.Fprintf(&b, "%10s | %8s %9s | %11s %12s\n", "", "paper", "measured", "paper", "measured")
+	for i, r := range got {
+		pp := row{}
+		for _, p := range paper {
+			if p.beta == r.beta {
+				pp = p
+			}
+		}
+		relPaper := pp.seconds / paper[0].seconds
+		relGot := r.seconds / got[0].seconds
+		fmt.Fprintf(&b, "%10.0e | %8d %9d | %5.1f (%4.1fx) %5.1f (%4.1fx)\n",
+			r.beta, pp.matvecs, r.matvecs, pp.seconds, relPaper, r.seconds, relGot)
+		_ = i
+	}
+	b.WriteString("\nthe preconditioner is mesh independent but not beta independent:\n")
+	b.WriteString("matvecs and time grow steeply as beta decreases (paper: 35x at beta=1e-5)\n")
+	return Report{ID: "table5", Title: "Table V: sensitivity to the regularization weight", Text: b.String()}, nil
+}
+
+func workloadAt(w perfmodel.Workload, n [3]int, p int) perfmodel.Workload {
+	w.N = n
+	w.P = p
+	return w
+}
+
+// Table5Ext extends Table V beyond the paper: the same beta sweep solved
+// with the three Hessian preconditioners — the paper's inverse
+// regularization, the data-shifted variant, and the two-level coarse-grid
+// preconditioner (the paper's "major remaining challenge"). Real runs.
+func Table5Ext(quick bool) (Report, error) {
+	betas := []float64{1e-1, 1e-3, 1e-5}
+	n := brainGrid(8)
+	if quick {
+		betas = []float64{1e-1, 1e-3}
+		n = brainGrid(16)
+	}
+	kinds := []struct {
+		name     string
+		shifted  bool
+		twoLevel bool
+	}{
+		{"inverse-reg (paper)", false, false},
+		{"data-shifted", true, false},
+		{"two-level", false, true},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "four Newton iterations on the brain pair (measured at %dx%dx%d)\n", n[0], n[1], n[2])
+	fmt.Fprintf(&b, "fine Hessian matvecs per solve:\n\n")
+	fmt.Fprintf(&b, "%10s |", "beta")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %20s", k.name)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, beta := range betas {
+		fmt.Fprintf(&b, "%10.0e |", beta)
+		for _, k := range kinds {
+			cfg := scalingConfig()
+			cfg.Opt.Beta = beta
+			cfg.Opt.ShiftedPrec = k.shifted
+			cfg.Opt.TwoLevelPrec = k.twoLevel
+			cfg.Newton.MaxIters = 4
+			cfg.Newton.GradTol = 1e-14
+			cfg.Newton.MaxKrylov = 2000
+			out, err := RunMeasurement(n, 1, BrainProblem, cfg)
+			if err != nil {
+				return Report{}, err
+			}
+			fmt.Fprintf(&b, " %20d", out.Counts.Matvecs)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	b.WriteString("\nthe coarse-grid correction removes most of the beta-sensitivity of\n")
+	b.WriteString("the single-level preconditioner (paper § Limitations / Conclusions)\n")
+	return Report{ID: "table5ext", Title: "Table V (extended): preconditioner comparison", Text: b.String()}, nil
+}

@@ -1,0 +1,12 @@
+package paperbench
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoFiles = errors.New("no files written")
+
+func dirEntries(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir)
+}

@@ -1,0 +1,178 @@
+// Package perfmodel implements the paper's complexity model (§III-C4) as a
+// predictive performance model:
+//
+//	Tflop ~ nt (8 * 7.5 N^3/p log N + 4 * 600 N^3/p)
+//	Tmpi  ~ 8 nt (3 ts sqrt(p) + tw 3 N^3/p) + 4 nt (ts + tw N^2/p)
+//
+// generalized in two ways: the FFT/interpolation work is taken from the
+// actual operation counts of our solver (mesh-independent for fixed beta,
+// so measurable at small N), and the FFT transpose traffic is charged at
+// the bisection-limited rate N^3/sqrt(p) rather than N^3/p — the paper's
+// own measurements (Table I: FFT communication decaying like ~p^-0.6, not
+// p^-1) show the congestion of concurrent all-to-alls, and the model must
+// reproduce that shape. Machine constants are calibrated against a single
+// row of the paper's tables; fidelity is judged on the remaining rows.
+// This model substitutes for the TACC clusters that are unavailable in
+// this reproduction (see DESIGN.md).
+package perfmodel
+
+import "math"
+
+// offRankFrac is the structural estimate of the fraction of semi-Lagrangian
+// departure points that land on a different rank and must be scattered
+// (Algorithm 1); it depends on the CFL number and is absorbed into the
+// calibrated interpolation bandwidth.
+const offRankFrac = 0.25
+
+// Machine holds calibrated hardware constants.
+type Machine struct {
+	Name       string
+	FFTRate    float64 // flop/s per task achieved by the FFT kernels
+	InterpRate float64 // flop/s per task achieved by the tricubic kernels
+	Ts         float64 // message latency, seconds
+	FFTTw      float64 // per-word time of the congested transpose all-to-all
+	InterpTw   float64 // per-word time of halo + scatter traffic
+	OtherFrac  float64 // vector-ops overhead as a fraction of exec time
+}
+
+// Workload describes one solve: the grid, the task count, and the total
+// algorithmic work (3D transforms and interpolation sweeps).
+type Workload struct {
+	N  [3]int
+	P  int
+	Nt int
+	// FFTs is the total number of distributed 3D transforms in the solve;
+	// InterpSweeps the number of whole-field off-grid interpolations.
+	FFTs         int64
+	InterpSweeps int64
+}
+
+// Points returns the global grid size.
+func (w Workload) Points() float64 {
+	return float64(w.N[0]) * float64(w.N[1]) * float64(w.N[2])
+}
+
+func (w Workload) logN() float64 {
+	return math.Log2(math.Cbrt(w.Points()))
+}
+
+// Breakdown mirrors the columns of the paper's tables.
+type Breakdown struct {
+	TimeToSolution float64
+	FFTComm        float64
+	FFTExec        float64
+	InterpComm     float64
+	InterpExec     float64
+}
+
+// fftFlops returns the per-task flop count of one 3D FFT (7.5 N^3 log N).
+func fftFlops(w Workload) float64 { return 7.5 * w.Points() * w.logN() / float64(w.P) }
+
+// interpFlops returns the per-task flop count of one interpolation sweep:
+// 64 coefficients times ~10 flops per point (the paper's constant 600).
+func interpFlops(w Workload) float64 { return 600 * w.Points() / float64(w.P) }
+
+// fftCommTerms returns per-FFT message and word counts: two transposes
+// among sqrt(p)-sized groups, charged at the bisection-limited rate.
+func fftCommTerms(w Workload) (msgs, words float64) {
+	if w.P == 1 {
+		return 0, 0
+	}
+	sq := math.Sqrt(float64(w.P))
+	return 3 * sq, 3 * w.Points() / sq
+}
+
+// interpCommTerms returns the per-sweep traffic: the four ghost-layer
+// neighbor exchanges (width-2 halos over the N^2/sqrt(p) pencil faces)
+// plus the scatter of off-rank departure points and their value return
+// (4 words per off-rank point, near-neighbor so uncongested).
+func interpCommTerms(w Workload) (msgs, words float64) {
+	if w.P == 1 {
+		return 0, 0
+	}
+	area := math.Pow(w.Points(), 2.0/3.0)
+	ghost := 8 * area / math.Sqrt(float64(w.P))
+	scatter := 4 * offRankFrac * w.Points() / float64(w.P)
+	return 8, ghost + scatter
+}
+
+// Predict evaluates the model for a workload on a machine.
+func Predict(w Workload, m Machine) Breakdown {
+	f := float64(w.FFTs)
+	i := float64(w.InterpSweeps)
+	var b Breakdown
+	b.FFTExec = f * fftFlops(w) / m.FFTRate
+	b.InterpExec = i * interpFlops(w) / m.InterpRate
+	fm, fw := fftCommTerms(w)
+	b.FFTComm = f * (fm*m.Ts + fw*m.FFTTw)
+	im, iw := interpCommTerms(w)
+	b.InterpComm = i * (im*m.Ts + iw*m.InterpTw)
+	exec := b.FFTExec + b.InterpExec
+	b.TimeToSolution = exec + b.FFTComm + b.InterpComm + m.OtherFrac*exec
+	return b
+}
+
+// Calibrate fits the machine constants so that Predict(w) reproduces the
+// target row exactly: the compute rates from the execution columns, the
+// two effective bandwidths from the communication columns (with a fixed
+// nominal latency), and the overhead fraction from the residual of the
+// total time.
+func Calibrate(name string, w Workload, target Breakdown) Machine {
+	m := Machine{Name: name, Ts: 2e-6}
+	f := float64(w.FFTs)
+	i := float64(w.InterpSweeps)
+	m.FFTRate = f * fftFlops(w) / target.FFTExec
+	m.InterpRate = i * interpFlops(w) / target.InterpExec
+
+	fm, fw := fftCommTerms(w)
+	if fw > 0 {
+		m.FFTTw = (target.FFTComm/f - fm*m.Ts) / fw
+		if m.FFTTw < 0 {
+			m.FFTTw = 0
+		}
+	}
+	im, iw := interpCommTerms(w)
+	if iw > 0 {
+		m.InterpTw = (target.InterpComm/i - im*m.Ts) / iw
+		if m.InterpTw < 0 {
+			m.InterpTw = 0
+		}
+	}
+	exec := target.FFTExec + target.InterpExec
+	other := target.TimeToSolution - exec - target.FFTComm - target.InterpComm
+	if other < 0 {
+		other = 0
+	}
+	m.OtherFrac = other / exec
+	return m
+}
+
+// Efficiency returns the strong-scaling parallel efficiency of t(p1)
+// relative to t(p0): (t0 * p0) / (t1 * p1).
+func Efficiency(t0 float64, p0 int, t1 float64, p1 int) float64 {
+	return t0 * float64(p0) / (t1 * float64(p1))
+}
+
+// MaverickCalibration is the paper's Table I row #3 (synthetic problem,
+// 128^3 on 16 tasks) used as the default calibration point for the
+// "Maverick" machine model.
+func MaverickCalibration() Breakdown {
+	return Breakdown{
+		TimeToSolution: 15.2,
+		FFTComm:        1.73,
+		FFTExec:        1.35,
+		InterpComm:     1.84,
+		InterpExec:     6.66,
+	}
+}
+
+// StampedeCalibration is Table II row #15 (512^3 on 1024 tasks).
+func StampedeCalibration() Breakdown {
+	return Breakdown{
+		TimeToSolution: 20.2,
+		FFTComm:        2.23,
+		FFTExec:        1.30,
+		InterpComm:     2.38,
+		InterpExec:     9.42,
+	}
+}

@@ -1,0 +1,147 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// calWorkload is a plausible solve workload at the paper's calibration
+// configuration (counts of FFTs and sweeps measured from our solver are
+// in the hundreds for a converged solve).
+func calWorkload(n, p int) Workload {
+	return Workload{N: [3]int{n, n, n}, P: p, Nt: 4, FFTs: 400, InterpSweeps: 300}
+}
+
+func TestCalibrateReproducesTarget(t *testing.T) {
+	w := calWorkload(128, 16)
+	target := MaverickCalibration()
+	m := Calibrate("maverick", w, target)
+	got := Predict(w, m)
+	for _, pair := range [][2]float64{
+		{got.TimeToSolution, target.TimeToSolution},
+		{got.FFTComm, target.FFTComm},
+		{got.FFTExec, target.FFTExec},
+		{got.InterpComm, target.InterpComm},
+		{got.InterpExec, target.InterpExec},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-9*pair[1] {
+			t.Errorf("calibration row not reproduced: got %g want %g", pair[0], pair[1])
+		}
+	}
+}
+
+func TestCalibratedConstantsPlausible(t *testing.T) {
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	// Rates should land in the 0.1-100 Gflop/s per task range for 2016 x86.
+	if m.FFTRate < 1e8 || m.FFTRate > 1e11 {
+		t.Errorf("FFT rate %g implausible", m.FFTRate)
+	}
+	if m.InterpRate < 1e8 || m.InterpRate > 1e11 {
+		t.Errorf("interp rate %g implausible", m.InterpRate)
+	}
+	if m.Ts < 0 || m.Ts > 1e-2 {
+		t.Errorf("latency %g implausible", m.Ts)
+	}
+	if m.FFTTw <= 0 || m.FFTTw > 1e-5 {
+		t.Errorf("fft word time %g implausible", m.FFTTw)
+	}
+	if m.InterpTw <= 0 || m.InterpTw > 1e-5 {
+		t.Errorf("interp word time %g implausible", m.InterpTw)
+	}
+	// Interpolation is memory bound: its rate must be below the FFT rate.
+	if m.InterpRate > m.FFTRate*10 {
+		t.Errorf("interp rate %g vs fft rate %g", m.InterpRate, m.FFTRate)
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	// Time to solution must decrease with p, and the FFT communication
+	// fraction must grow — the paper's central strong-scaling observation.
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	w32 := calWorkload(256, 32)
+	w512 := calWorkload(256, 512)
+	b32 := Predict(w32, m)
+	b512 := Predict(w512, m)
+	if b512.TimeToSolution >= b32.TimeToSolution {
+		t.Errorf("no speedup: %g -> %g", b32.TimeToSolution, b512.TimeToSolution)
+	}
+	frac32 := b32.FFTComm / b32.TimeToSolution
+	frac512 := b512.FFTComm / b512.TimeToSolution
+	if frac512 <= frac32 {
+		t.Errorf("FFT comm fraction should grow with p: %g -> %g", frac32, frac512)
+	}
+	// Interpolation dominates at low task counts.
+	if b32.InterpExec < b32.FFTExec {
+		t.Errorf("interpolation should dominate exec at low p: %g vs %g", b32.InterpExec, b32.FFTExec)
+	}
+}
+
+func TestEfficiencyDecaysButStaysReasonable(t *testing.T) {
+	// Paper: 256^3 from 32 to 512 tasks has ~67% efficiency, 32->1024 ~50%.
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	t32 := Predict(calWorkload(256, 32), m).TimeToSolution
+	t512 := Predict(calWorkload(256, 512), m).TimeToSolution
+	t1024 := Predict(calWorkload(256, 1024), m).TimeToSolution
+	e512 := Efficiency(t32, 32, t512, 512)
+	e1024 := Efficiency(t32, 32, t1024, 1024)
+	if e512 < 0.3 || e512 > 1.05 {
+		t.Errorf("efficiency 32->512 = %g out of plausible band", e512)
+	}
+	if e1024 >= e512 {
+		t.Errorf("efficiency should decay: %g -> %g", e512, e1024)
+	}
+}
+
+func TestWeakScalingFFTExecNearlyFlat(t *testing.T) {
+	// Runs #3, #8, #13 of Table I: 8x problem and 8x tasks keep FFT
+	// execution nearly constant (1.35 -> 1.56 -> 1.77 in the paper).
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	prev := 0.0
+	for i, cfg := range []struct{ n, p int }{{128, 16}, {256, 128}, {512, 1024}} {
+		b := Predict(calWorkload(cfg.n, cfg.p), m)
+		if i > 0 {
+			ratio := b.FFTExec / prev
+			if ratio < 0.9 || ratio > 1.5 {
+				t.Errorf("weak scaling FFT exec ratio %g at step %d", ratio, i)
+			}
+		}
+		prev = b.FFTExec
+	}
+}
+
+func TestPredictSerialHasNoComm(t *testing.T) {
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	b := Predict(calWorkload(64, 1), m)
+	if b.FFTComm != 0 || b.InterpComm != 0 {
+		t.Errorf("serial run should have zero comm: %+v", b)
+	}
+	if b.TimeToSolution <= 0 {
+		t.Errorf("nonpositive time")
+	}
+}
+
+func TestPredictMonotoneInWorkProperty(t *testing.T) {
+	m := Calibrate("maverick", calWorkload(128, 16), MaverickCalibration())
+	f := func(extraF, extraI uint16) bool {
+		w := calWorkload(128, 64)
+		w2 := w
+		w2.FFTs += int64(extraF)
+		w2.InterpSweeps += int64(extraI)
+		a := Predict(w, m).TimeToSolution
+		b := Predict(w2, m).TimeToSolution
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if e := Efficiency(10, 32, 5, 64); e != 1 {
+		t.Errorf("perfect scaling should be 1, got %g", e)
+	}
+	if e := Efficiency(10, 32, 10, 64); e != 0.5 {
+		t.Errorf("no speedup at 2x tasks should be 0.5, got %g", e)
+	}
+}

@@ -1,0 +1,276 @@
+// Package pfft implements the distributed-memory 3D real-to-complex FFT on
+// a pencil decomposition, following the communication structure of AccFFT
+// used in the paper (Fig. 4): a local 1D transform along the complete
+// third dimension, a transpose among the sqrt(p)-sized row communicators,
+// a transform along the second dimension, a transpose among the column
+// communicators, and a final transform along the first dimension. Each
+// transpose is an all-to-all of N^3/p elements per rank, which is exactly
+// the 3*N^3/p + ts*sqrt(p) term of the paper's communication model.
+package pfft
+
+import (
+	"time"
+
+	"diffreg/internal/fft"
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+)
+
+// Plan holds the per-rank state of the distributed transform.
+type Plan struct {
+	Pe *grid.Pencil
+
+	m3      int    // retained complex length of dim 2 (N3/2+1)
+	specDim [3]int // local spectral dims: (N1, share(N2,p1), share(M3,p2))
+	specLo  [3]int // global offsets of the local spectral block
+
+	plan1, plan2, plan3 *fft.Plan
+}
+
+// NewPlan builds a transform plan for the pencil decomposition.
+func NewPlan(pe *grid.Pencil) *Plan {
+	n := pe.Grid.N
+	pl := &Plan{Pe: pe, m3: fft.HalfLen(n[2])}
+	pl.plan1 = fft.NewPlan(n[0])
+	pl.plan2 = fft.NewPlan(n[1])
+	pl.plan3 = fft.NewPlan(n[2])
+	lo2, hi2 := grid.Share(n[1], pe.P[0], pe.Coord[0])
+	lo3, hi3 := grid.Share(pl.m3, pe.P[1], pe.Coord[1])
+	pl.specDim = [3]int{n[0], hi2 - lo2, hi3 - lo3}
+	pl.specLo = [3]int{0, lo2, lo3}
+	return pl
+}
+
+// SpecDims returns the local dimensions of the spectral array.
+func (pl *Plan) SpecDims() [3]int { return pl.specDim }
+
+// SpecLocalTotal returns the number of local spectral coefficients.
+func (pl *Plan) SpecLocalTotal() int {
+	return pl.specDim[0] * pl.specDim[1] * pl.specDim[2]
+}
+
+// Wavenumber maps a global spectral grid index j along a dimension of
+// global length n to the signed integer wavenumber.
+func Wavenumber(j, n int) int {
+	if j <= n/2 {
+		return j
+	}
+	return j - n
+}
+
+// EachSpec iterates over the local spectral coefficients, passing the flat
+// local index and the signed wavenumbers (k1, k2, k3).
+func (pl *Plan) EachSpec(fn func(idx, k1, k2, k3 int)) {
+	n := pl.Pe.Grid.N
+	d := pl.specDim
+	idx := 0
+	for i1 := 0; i1 < d[0]; i1++ {
+		k1 := Wavenumber(i1, n[0])
+		for i2 := 0; i2 < d[1]; i2++ {
+			k2 := Wavenumber(pl.specLo[1]+i2, n[1])
+			for i3 := 0; i3 < d[2]; i3++ {
+				k3 := pl.specLo[2] + i3 // r2c keeps only k3 in [0, N3/2]
+				fn(idx, k1, k2, k3)
+				idx++
+			}
+		}
+	}
+}
+
+// Forward computes the unnormalized 3D r2c transform of the local real
+// pencil (dims Local(0) x Local(1) x N3) and returns the local spectral
+// block in the layout described by SpecDims.
+func (pl *Plan) Forward(src []float64) []complex128 {
+	pe := pl.Pe
+	pe.Comm.CountFFT()
+	n1, n2 := pe.Local(0), pe.Local(1)
+	n3 := pe.Grid.N[2]
+	m3 := pl.m3
+
+	t0 := time.Now()
+	// Stage 1: r2c along the complete dimension 2.
+	a := make([]complex128, n1*n2*m3)
+	for i := 0; i < n1*n2; i++ {
+		pl.plan3.ForwardReal(src[i*n3:(i+1)*n3], a[i*m3:(i+1)*m3])
+	}
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Stage 2: transpose in the row communicator — unsplit dim 1, split
+	// dim 2: (n1, n2loc, m3) -> (n1, N2, m3loc).
+	a, dims := reshuffle(pe.Row, a, [3]int{n1, n2, m3}, 1, 2, pe.Grid.N[1])
+
+	t0 = time.Now()
+	transformAxisLocal(pl.plan2, a, dims, 1, false)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Stage 3: transpose in the column communicator — unsplit dim 0,
+	// split dim 1: (n1loc, N2, m3loc) -> (N1, n2loc2, m3loc).
+	a, dims = reshuffle(pe.Col, a, dims, 0, 1, pe.Grid.N[0])
+
+	t0 = time.Now()
+	transformAxisLocal(pl.plan1, a, dims, 0, false)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	if dims != pl.specDim {
+		panic("pfft: spectral dims mismatch")
+	}
+	return a
+}
+
+// Inverse computes the normalized inverse transform of a local spectral
+// block back to the local real pencil. The input is not modified.
+func (pl *Plan) Inverse(spec []complex128) []float64 {
+	pe := pl.Pe
+	pe.Comm.CountFFT()
+	a := make([]complex128, len(spec))
+	copy(a, spec)
+	dims := pl.specDim
+
+	t0 := time.Now()
+	transformAxisLocal(pl.plan1, a, dims, 0, true)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Undo the column transpose: split dim 0, unsplit dim 1.
+	a, dims = reshuffle(pe.Col, a, dims, 1, 0, pe.Grid.N[1])
+
+	t0 = time.Now()
+	transformAxisLocal(pl.plan2, a, dims, 1, true)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Undo the row transpose: split dim 1, unsplit dim 2.
+	a, dims = reshuffle(pe.Row, a, dims, 2, 1, pl.m3)
+
+	t0 = time.Now()
+	n3 := pe.Grid.N[2]
+	out := make([]float64, pe.LocalTotal())
+	for i := 0; i < dims[0]*dims[1]; i++ {
+		pl.plan3.InverseReal(a[i*pl.m3:(i+1)*pl.m3], out[i*n3:(i+1)*n3])
+	}
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+	return out
+}
+
+// reshuffle redistributes a local 3D complex block within comm: axis u,
+// currently split across the communicator, becomes complete (global length
+// gu), while axis s, currently complete, becomes split. Returns the new
+// local block and its dimensions.
+func reshuffle(c *mpi.Comm, data []complex128, dims [3]int, u, s, gu int) ([]complex128, [3]int) {
+	q := c.Size()
+	if q == 1 {
+		// Nothing moves; dims stay identical because the split shares are
+		// the whole axes.
+		newDims := dims
+		newDims[u] = gu
+		newDims[s] = dims[s]
+		res := make([]complex128, len(data))
+		copy(res, data)
+		return res, newDims
+	}
+	old := c.SetPhase(mpi.PhaseFFTComm)
+	defer c.SetPhase(old)
+
+	send := make([][]complex128, q)
+	for t := 0; t < q; t++ {
+		lo, hi := grid.Share(dims[s], q, t)
+		blockDims := dims
+		blockDims[s] = hi - lo
+		off := [3]int{}
+		off[s] = lo
+		send[t] = packBlock(data, dims, off, blockDims)
+	}
+	recv := c.AlltoallvComplex(send)
+
+	myLoS, myHiS := grid.Share(dims[s], q, c.Rank())
+	newDims := dims
+	newDims[u] = gu
+	newDims[s] = myHiS - myLoS
+	res := make([]complex128, newDims[0]*newDims[1]*newDims[2])
+	for r := 0; r < q; r++ {
+		loU, hiU := grid.Share(gu, q, r)
+		blockDims := newDims
+		blockDims[u] = hiU - loU
+		off := [3]int{}
+		off[u] = loU
+		unpackBlock(res, newDims, off, blockDims, recv[r])
+	}
+	return res, newDims
+}
+
+// packBlock extracts the sub-block of a 3D array starting at off with the
+// given block dimensions into a contiguous slice.
+func packBlock(src []complex128, dims, off, blk [3]int) []complex128 {
+	out := make([]complex128, blk[0]*blk[1]*blk[2])
+	pos := 0
+	for i0 := 0; i0 < blk[0]; i0++ {
+		for i1 := 0; i1 < blk[1]; i1++ {
+			base := ((off[0]+i0)*dims[1]+(off[1]+i1))*dims[2] + off[2]
+			copy(out[pos:pos+blk[2]], src[base:base+blk[2]])
+			pos += blk[2]
+		}
+	}
+	return out
+}
+
+// unpackBlock writes a contiguous block into the sub-region of dst at off.
+func unpackBlock(dst []complex128, dims, off, blk [3]int, src []complex128) {
+	pos := 0
+	for i0 := 0; i0 < blk[0]; i0++ {
+		for i1 := 0; i1 < blk[1]; i1++ {
+			base := ((off[0]+i0)*dims[1]+(off[1]+i1))*dims[2] + off[2]
+			copy(dst[base:base+blk[2]], src[pos:pos+blk[2]])
+			pos += blk[2]
+		}
+	}
+}
+
+// transformAxisLocal applies the 1D transform along the given axis of the
+// local block.
+func transformAxisLocal(p *fft.Plan, a []complex128, dims [3]int, axis int, inverse bool) {
+	length := dims[axis]
+	if p.Len() != length {
+		panic("pfft: plan length mismatch")
+	}
+	line := make([]complex128, length)
+	res := make([]complex128, length)
+	switch axis {
+	case 0:
+		stride := dims[1] * dims[2]
+		for c := 0; c < stride; c++ {
+			for j := 0; j < length; j++ {
+				line[j] = a[c+j*stride]
+			}
+			apply(p, line, res, inverse)
+			for j := 0; j < length; j++ {
+				a[c+j*stride] = res[j]
+			}
+		}
+	case 1:
+		stride := dims[2]
+		for i0 := 0; i0 < dims[0]; i0++ {
+			for i2 := 0; i2 < dims[2]; i2++ {
+				base := i0*dims[1]*dims[2] + i2
+				for j := 0; j < length; j++ {
+					line[j] = a[base+j*stride]
+				}
+				apply(p, line, res, inverse)
+				for j := 0; j < length; j++ {
+					a[base+j*stride] = res[j]
+				}
+			}
+		}
+	case 2:
+		for i := 0; i < dims[0]*dims[1]; i++ {
+			copy(line, a[i*length:(i+1)*length])
+			apply(p, line, res, inverse)
+			copy(a[i*length:(i+1)*length], res)
+		}
+	}
+}
+
+func apply(p *fft.Plan, line, res []complex128, inverse bool) {
+	if inverse {
+		p.Inverse(line, res)
+	} else {
+		p.Forward(line, res)
+	}
+}

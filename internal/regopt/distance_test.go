@@ -1,0 +1,215 @@
+package regopt
+
+import (
+	"math"
+	"testing"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/optim"
+)
+
+func TestL2DistanceMatchesInline(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		d := L2Distance{}
+		val := d.Eval(pr.RhoT, pr.RhoR)
+		diff := pr.RhoT.Clone()
+		diff.Axpy(-1, pr.RhoR)
+		if want := 0.5 * diff.Dot(diff); math.Abs(val-want) > 1e-12 {
+			t.Errorf("L2 eval %g want %g", val, want)
+		}
+		lam := d.TerminalAdjoint(pr.RhoT, pr.RhoR)
+		for i := range lam.Data {
+			if math.Abs(lam.Data[i]-(pr.RhoR.Data[i]-pr.RhoT.Data[i])) > 1e-14 {
+				t.Errorf("L2 terminal adjoint wrong at %d", i)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func TestNCCProperties(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		d := NCCDistance{}
+		// Perfectly correlated images give D = 0 even under affine
+		// intensity rescaling — the property L2 lacks.
+		scaled := pr.RhoR.Clone()
+		scaled.Scale(3)
+		for i := range scaled.Data {
+			scaled.Data[i] += 0.7
+		}
+		if v := d.Eval(scaled, pr.RhoR); v > 1e-10 {
+			t.Errorf("NCC of rescaled copy: %g, want ~0", v)
+		}
+		// D in [0, 1], and positive for genuinely different images.
+		if v := d.Eval(pr.RhoT, pr.RhoR); v <= 0 || v > 1 {
+			t.Errorf("NCC out of range: %g", v)
+		}
+		// At the perfect match the gradient must vanish.
+		lam := d.TerminalAdjoint(scaled, pr.RhoR)
+		// TerminalAdjoint at correlation 1: w - (a/b)u = w - w = 0 after
+		// accounting for the scale.
+		if m := lam.MaxAbs(); m > 1e-9 {
+			t.Errorf("NCC terminal adjoint at optimum: %g", m)
+		}
+		return nil
+	})
+}
+
+func TestNCCGradientMatchesFiniteDifference(t *testing.T) {
+	// Full reduced-gradient check with the NCC measure: the decisive test
+	// that the terminal adjoint is correct.
+	g := grid.MustNew(16, 16, 16)
+	opt := DefaultOptions()
+	opt.Distance = NCCDistance{}
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		v := testVelocity(pr.Pe)
+		w := testDirection(pr.Pe)
+		e := pr.EvalGradient(v)
+		gw := e.G.Dot(w)
+		eps := 1e-5
+		vp := v.Clone()
+		vp.Axpy(eps, w)
+		vm := v.Clone()
+		vm.Axpy(-eps, w)
+		fd := (pr.Evaluate(vp).J - pr.Evaluate(vm).J) / (2 * eps)
+		rel := math.Abs(gw-fd) / (math.Abs(fd) + 1e-12)
+		if rel > 0.05 {
+			t.Errorf("NCC gradient vs FD: %g vs %g (rel %g)", gw, fd, rel)
+		}
+		return nil
+	})
+}
+
+func TestNCCHessianMatchesGradientDifference(t *testing.T) {
+	// The exact second derivative in IncTerminal must make the full-Newton
+	// matvec match finite differences of the gradient.
+	g := grid.MustNew(16, 16, 16)
+	opt := Options{Beta: 1e-2, Reg: RegH2, Nt: 4, GaussNewton: false, Distance: NCCDistance{}}
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		v := testVelocity(pr.Pe)
+		w := testDirection(pr.Pe)
+		e := pr.EvalGradient(v)
+		hw := pr.HessMatVec(e, w)
+		eps := 1e-4
+		vp := v.Clone()
+		vp.Axpy(eps, w)
+		vm := v.Clone()
+		vm.Axpy(-eps, w)
+		gp := pr.EvalGradient(vp).G
+		gm := pr.EvalGradient(vm).G
+		fd := gp.Clone()
+		fd.Axpy(-1, gm)
+		fd.Scale(1 / (2 * eps))
+		diff := hw.Clone()
+		diff.Axpy(-1, fd)
+		if rel := diff.NormL2() / (fd.NormL2() + 1e-12); rel > 0.08 {
+			t.Errorf("NCC Hessian vs FD(grad): rel %g", rel)
+		}
+		return nil
+	})
+}
+
+func TestNCCRegistrationHandlesIntensityRescaling(t *testing.T) {
+	// The headline use case: the reference has a different intensity
+	// scale. NCC registration must still drive its own misfit down and
+	// produce a diffeomorphic map, where the L2 objective cannot even in
+	// principle reach a small residual.
+	g := grid.MustNew(16, 16, 16)
+	opt := DefaultOptions()
+	opt.Beta = 1e-3
+	opt.Distance = NCCDistance{}
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		// Rescale the reference intensities: rhoR <- 2*rhoR + 0.5.
+		pr.RhoR.Scale(2)
+		for i := range pr.RhoR.Data {
+			pr.RhoR.Data[i] += 0.5
+		}
+		res := optim.GaussNewton[*field.Vector](pr.Driver(), field.NewVector(pr.Pe), optim.DefaultNewtonOptions())
+		if res.MisfitLast > 0.3*res.MisfitInit {
+			t.Errorf("NCC misfit %g -> %g under rescaling", res.MisfitInit, res.MisfitLast)
+		}
+		return nil
+	})
+}
+
+func TestWeightedL2ReducesToL2WithUnitWeight(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	setup(t, g, 2, DefaultOptions(), func(pr *Problem) error {
+		w := field.NewScalar(pr.Pe)
+		w.Fill(1)
+		d := WeightedL2Distance{W: w}
+		l2 := L2Distance{}
+		if a, b := d.Eval(pr.RhoT, pr.RhoR), l2.Eval(pr.RhoT, pr.RhoR); math.Abs(a-b) > 1e-12*(1+b) {
+			t.Errorf("unit-weight eval %g vs L2 %g", a, b)
+		}
+		la := d.TerminalAdjoint(pr.RhoT, pr.RhoR)
+		lb := l2.TerminalAdjoint(pr.RhoT, pr.RhoR)
+		for i := range la.Data {
+			if la.Data[i] != lb.Data[i] {
+				t.Errorf("unit-weight adjoint differs at %d", i)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func TestWeightedL2GradientMatchesFiniteDifference(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	opt := DefaultOptions()
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		// Region of interest: a smooth bump in the domain center.
+		w := field.NewScalar(pr.Pe)
+		w.SetFunc(func(x1, x2, x3 float64) float64 {
+			d1, d2, d3 := x1-math.Pi, x2-math.Pi, x3-math.Pi
+			return math.Exp(-(d1*d1 + d2*d2 + d3*d3) / 2)
+		})
+		pr.Opt.Distance = WeightedL2Distance{W: w}
+		v := testVelocity(pr.Pe)
+		dir := testDirection(pr.Pe)
+		e := pr.EvalGradient(v)
+		gw := e.G.Dot(dir)
+		eps := 1e-5
+		vp := v.Clone()
+		vp.Axpy(eps, dir)
+		vm := v.Clone()
+		vm.Axpy(-eps, dir)
+		fd := (pr.Evaluate(vp).J - pr.Evaluate(vm).J) / (2 * eps)
+		if rel := math.Abs(gw-fd) / (math.Abs(fd) + 1e-12); rel > 0.05 {
+			t.Errorf("weighted-L2 gradient vs FD: %g vs %g (rel %g)", gw, fd, rel)
+		}
+		return nil
+	})
+}
+
+func TestWeightedL2MaskIgnoresOutsideRegion(t *testing.T) {
+	// Changing the images outside the mask must not change the misfit.
+	g := grid.MustNew(12, 12, 12)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		w := field.NewScalar(pr.Pe)
+		w.SetFunc(func(x1, _, _ float64) float64 {
+			if x1 < math.Pi {
+				return 1
+			}
+			return 0
+		})
+		d := WeightedL2Distance{W: w}
+		before := d.Eval(pr.RhoT, pr.RhoR)
+		mod := pr.RhoT.Clone()
+		pr.Pe.EachLocal(func(i1, i2, i3, idx int) {
+			x1, _, _ := pr.Pe.Coords(i1, i2, i3)
+			if x1 >= math.Pi {
+				mod.Data[idx] += 10
+			}
+		})
+		after := d.Eval(mod, pr.RhoR)
+		if math.Abs(before-after) > 1e-12*(1+before) {
+			t.Errorf("masked misfit changed: %g vs %g", before, after)
+		}
+		return nil
+	})
+}

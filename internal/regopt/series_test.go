@@ -1,0 +1,186 @@
+package regopt
+
+import (
+	"math"
+	"testing"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/optim"
+)
+
+// seriesVelocity builds a time-varying test velocity with distinct
+// coefficients per interval.
+func seriesVelocity(pe *grid.Pencil, nc int) field.Series {
+	vs := field.NewSeries(pe, nc)
+	for c := 0; c < nc; c++ {
+		phase := float64(c)
+		vs[c].SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+			return 0.2 * math.Sin(x2+phase) * math.Cos(x3),
+				-0.15 * math.Cos(x1-phase),
+				0.1 * math.Sin(x1+x2+phase)
+		})
+	}
+	return vs
+}
+
+func TestNewSeriesValidates(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		if _, err := NewSeries(pr, 3); err == nil { // nt=4 not divisible by 3
+			t.Error("nt=4 with 3 intervals accepted")
+		}
+		if _, err := NewSeries(pr, 0); err == nil {
+			t.Error("0 intervals accepted")
+		}
+		for _, nc := range []int{1, 2, 4} {
+			if _, err := NewSeries(pr, nc); err != nil {
+				t.Errorf("nc=%d rejected: %v", nc, err)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSeriesWithOneIntervalMatchesStationary(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		v := testVelocity(pr.Pe)
+		sp, err := NewSeries(pr, 1)
+		if err != nil {
+			return err
+		}
+		es := sp.EvalGradient(field.Series{v})
+		e := pr.EvalGradient(v)
+		if math.Abs(es.J-e.J) > 1e-12*(1+math.Abs(e.J)) {
+			t.Errorf("J differs: %g vs %g", es.J, e.J)
+		}
+		for d := 0; d < 3; d++ {
+			for i := range e.G.C[d].Data {
+				if math.Abs(es.G[0].C[d].Data[i]-e.G.C[d].Data[i]) > 1e-10 {
+					t.Errorf("gradient differs at d=%d i=%d: %g vs %g",
+						d, i, es.G[0].C[d].Data[i], e.G.C[d].Data[i])
+					return nil
+				}
+			}
+		}
+		// Hessian matvec must agree too.
+		w := testDirection(pr.Pe)
+		hs := sp.HessMatVec(field.Series{w})
+		h := pr.HessMatVec(e, w)
+		diff := hs[0].Clone()
+		diff.Axpy(-1, h)
+		if rel := diff.NormL2() / (h.NormL2() + 1e-300); rel > 1e-10 {
+			t.Errorf("matvec differs: rel %g", rel)
+		}
+		return nil
+	})
+}
+
+func TestSeriesGradientMatchesFiniteDifference(t *testing.T) {
+	// The load-bearing correctness check of the time-varying extension:
+	// <g, w>_series vs central finite differences of J, for 2 intervals.
+	g := grid.MustNew(16, 16, 16)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		sp, err := NewSeries(pr, 2)
+		if err != nil {
+			return err
+		}
+		vs := seriesVelocity(pr.Pe, 2)
+		ws := seriesVelocity(pr.Pe, 2)
+		for c := range ws {
+			ws[c].SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+				return 0.3 * math.Cos(x2+x3+float64(c)), 0.2 * math.Sin(x3), -0.25 * math.Cos(x1)
+			})
+		}
+		gv := sp.EvalGradient(vs)
+		gw := gv.G.Dot(ws)
+
+		eps := 1e-5
+		vp := vs.Clone()
+		vp.Axpy(eps, ws)
+		vm := vs.Clone()
+		vm.Axpy(-eps, ws)
+		fd := (sp.Evaluate(vp).J - sp.Evaluate(vm).J) / (2 * eps)
+		rel := math.Abs(gw-fd) / (math.Abs(fd) + 1e-12)
+		if rel > 0.05 {
+			t.Errorf("series gradient vs FD: %g vs %g (rel %g)", gw, fd, rel)
+		}
+		return nil
+	})
+}
+
+func TestSeriesHessianSymmetry(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	setup(t, g, 1, DefaultOptions(), func(pr *Problem) error {
+		sp, err := NewSeries(pr, 2)
+		if err != nil {
+			return err
+		}
+		vs := seriesVelocity(pr.Pe, 2)
+		sp.EvalGradient(vs)
+		w1 := seriesVelocity(pr.Pe, 2)
+		w2 := field.NewSeries(pr.Pe, 2)
+		for c := range w2 {
+			phase := float64(c) * 0.7
+			w2[c].SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+				return 0.2 * math.Sin(2*x3+phase), 0.3 * math.Cos(x1+x2), 0.1 * math.Sin(x2-phase)
+			})
+		}
+		a := sp.HessMatVec(w1).Dot(w2)
+		b := sp.HessMatVec(w2).Dot(w1)
+		rel := math.Abs(a-b) / (math.Abs(a) + math.Abs(b) + 1e-12)
+		if rel > 0.05 {
+			t.Errorf("series Hessian asymmetric: %g vs %g (rel %g)", a, b, rel)
+		}
+		return nil
+	})
+}
+
+func TestSeriesRegistrationImprovesOnStationary(t *testing.T) {
+	// A time-varying velocity parameterization strictly contains the
+	// stationary one, so at equal beta the optimizer must reach an equal
+	// or lower objective.
+	g := grid.MustNew(16, 16, 16)
+	opt := DefaultOptions()
+	opt.Beta = 1e-3
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		nopt := optim.DefaultNewtonOptions()
+
+		drv := pr.Driver()
+		stat := optim.GaussNewton[*field.Vector](drv, field.NewVector(pr.Pe), nopt)
+
+		sp, err := NewSeries(pr, 2)
+		if err != nil {
+			return err
+		}
+		tv := optim.GaussNewton[field.Series](sp, field.NewSeries(pr.Pe, 2), nopt)
+
+		if tv.JFinal > stat.JFinal*1.1 {
+			t.Errorf("time-varying solve worse than stationary: %g vs %g", tv.JFinal, stat.JFinal)
+		}
+		if !tv.Converged && !stat.Converged {
+			t.Errorf("neither solve converged")
+		}
+		return nil
+	})
+}
+
+func TestSeriesIncompressibleStaysDivergenceFree(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	opt := DefaultOptions()
+	opt.Incompressible = true
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		sp, err := NewSeries(pr, 2)
+		if err != nil {
+			return err
+		}
+		res := optim.GaussNewton[field.Series](sp, field.NewSeries(pr.Pe, 2), optim.DefaultNewtonOptions())
+		for c, v := range res.V {
+			if m := pr.Ops.Div(v).MaxAbs(); m > 1e-8 {
+				t.Errorf("interval %d: div v = %g", c, m)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,106 @@
+package regopt
+
+import (
+	"math"
+	"testing"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/optim"
+	"diffreg/internal/pfft"
+	"diffreg/internal/spectral"
+)
+
+func TestTwoLevelPrecReducesIterationsAtSmallBeta(t *testing.T) {
+	// Table V regime: at small beta the coarse-grid correction captures
+	// the data term on the low modes, so PCG needs fewer iterations than
+	// with the pure inverse-regularization preconditioner.
+	g := grid.MustNew(24, 24, 24)
+	iters := map[bool]int{}
+	for _, twoLevel := range []bool{false, true} {
+		opt := DefaultOptions()
+		opt.Beta = 1e-4
+		opt.TwoLevelPrec = twoLevel
+		setup(t, g, 1, opt, func(pr *Problem) error {
+			e := pr.EvalGradient(field.NewVector(pr.Pe))
+			rhs := e.G.Clone()
+			rhs.Scale(-1)
+			_, cg := optim.PCG(
+				func(w *field.Vector) *field.Vector { return pr.HessMatVec(e, w) },
+				func(w *field.Vector) *field.Vector { return pr.ApplyPrec(w) },
+				rhs, 1e-3, 1000,
+			)
+			iters[twoLevel] = cg.Iters
+			return nil
+		})
+	}
+	t.Logf("fine PCG iterations at beta=1e-4: inverse-reg %d, two-level %d", iters[false], iters[true])
+	if iters[true] > iters[false] {
+		t.Errorf("two-level preconditioner worse: %d vs %d", iters[true], iters[false])
+	}
+}
+
+func TestTwoLevelSolveMatchesSingleLevelSolution(t *testing.T) {
+	// The preconditioner changes the Krylov path, not the optimum: both
+	// solves must reach the same misfit (within the loose gtol).
+	g := grid.MustNew(16, 16, 16)
+	misfits := map[bool]float64{}
+	for _, twoLevel := range []bool{false, true} {
+		opt := DefaultOptions()
+		opt.Beta = 1e-3
+		opt.TwoLevelPrec = twoLevel
+		setup(t, g, 1, opt, func(pr *Problem) error {
+			res := optim.GaussNewton[*field.Vector](pr.Driver(), field.NewVector(pr.Pe), optim.DefaultNewtonOptions())
+			if !res.Converged {
+				t.Errorf("twoLevel=%v: not converged", twoLevel)
+			}
+			misfits[twoLevel] = res.MisfitLast
+			return nil
+		})
+	}
+	if rel := math.Abs(misfits[true]-misfits[false]) / misfits[false]; rel > 0.2 {
+		t.Errorf("solutions differ: %g vs %g", misfits[true], misfits[false])
+	}
+}
+
+func TestTwoLevelFallsBackOnTinyGrids(t *testing.T) {
+	// 8^3 cannot be coarsened further; the solve must silently fall back.
+	g := grid.MustNew(8, 8, 8)
+	opt := DefaultOptions()
+	opt.TwoLevelPrec = true
+	setup(t, g, 1, opt, func(pr *Problem) error {
+		e := pr.EvalGradient(field.NewVector(pr.Pe))
+		if pr.Opt.TwoLevelPrec {
+			t.Errorf("expected fallback on 8^3")
+		}
+		_ = pr.ApplyPrec(e.G) // must not panic
+		return nil
+	})
+}
+
+func TestTransferScalarRoundTrip(t *testing.T) {
+	// Restriction of a band-limited field then prolongation reproduces it
+	// (through the fully distributed spectral transfer).
+	g := grid.MustNew(16, 16, 16)
+	setup(t, g, 2, DefaultOptions(), func(pr *Problem) error {
+		s := field.NewScalar(pr.Pe)
+		s.SetFunc(func(x1, x2, x3 float64) float64 {
+			return math.Sin(x1)*math.Cos(x2) + math.Cos(2*x3)
+		})
+		gc := grid.MustNew(8, 8, 8)
+		cpe, err := grid.NewPencil(gc, pr.Pe.Comm)
+		if err != nil {
+			return err
+		}
+		cops := spectral.New(pfft.NewPlan(cpe))
+		down := spectral.Resample(pr.Ops, cops, s)
+		back := spectral.Resample(cops, pr.Ops, down)
+		for i := range s.Data {
+			if math.Abs(back.Data[i]-s.Data[i]) > 1e-9 {
+				t.Errorf("transfer roundtrip differs at %d: %g vs %g", i, back.Data[i], s.Data[i])
+				return nil
+			}
+		}
+		return nil
+	})
+}

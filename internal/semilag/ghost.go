@@ -1,0 +1,135 @@
+// Package semilag implements the semi-Lagrangian machinery of the paper:
+// RK2 characteristic tracing (eq. 6), the distributed off-grid tricubic
+// interpolation with its scatter/ghost communication pattern (Algorithm 1),
+// and the reusable interpolation plan that is built once per velocity field
+// per Newton iteration.
+package semilag
+
+import (
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+)
+
+// GhostWidth is the halo width required by the tricubic stencil: a query
+// whose base cell is owned locally touches at most one plane below and two
+// planes above the owned block.
+const GhostWidth = 2
+
+// Ghost exchanges halo layers of width GhostWidth in the two decomposed
+// dimensions of a pencil. The third dimension is complete on every rank and
+// wraps locally. Each exchange is the paper's "layer of ghost points ...
+// synchronized before interpolation takes place", with the four corner
+// blocks folded into the second phase, costing 4(tw N^2/p + ts) per rank.
+type Ghost struct {
+	Pe *grid.Pencil
+}
+
+// NewGhost returns a halo exchanger for the pencil.
+func NewGhost(pe *grid.Pencil) *Ghost { return &Ghost{Pe: pe} }
+
+// PaddedDims returns the dimensions of the padded local array.
+func (g *Ghost) PaddedDims() [3]int {
+	pe := g.Pe
+	return [3]int{pe.Local(0) + 2*GhostWidth, pe.Local(1) + 2*GhostWidth, pe.Local(2)}
+}
+
+// Pad returns a copy of the local field extended by halo layers obtained
+// from the neighboring ranks (or by periodic wrap when a dimension is not
+// split). The input field has the pencil's local dimensions.
+func (g *Ghost) Pad(f []float64) []float64 {
+	pe := g.Pe
+	const G = GhostWidth
+	n1, n2, n3 := pe.Local(0), pe.Local(1), pe.Local(2)
+	p1, p2 := pe.P[0], pe.P[1]
+	pd := g.PaddedDims()
+	out := make([]float64, pd[0]*pd[1]*pd[2])
+
+	// Interior copy.
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			src := (i1*n2 + i2) * n3
+			dst := ((i1+G)*pd[1] + (i2 + G)) * pd[2]
+			copy(out[dst:dst+n3], f[src:src+n3])
+		}
+	}
+
+	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+	defer pe.Comm.SetPhase(old)
+
+	// Phase A: exchange rows along dimension 0 within the column
+	// communicator (ranks differing in coordinate r1). Rows span only the
+	// owned dimension-1 range.
+	rowBlock := func(i1lo int) []float64 {
+		blk := make([]float64, G*n2*n3)
+		pos := 0
+		for i1 := i1lo; i1 < i1lo+G; i1++ {
+			src := i1 * n2 * n3
+			copy(blk[pos:pos+n2*n3], f[src:src+n2*n3])
+			pos += n2 * n3
+		}
+		return blk
+	}
+	placeRows := func(pi1lo int, blk []float64) {
+		pos := 0
+		for i1 := 0; i1 < G; i1++ {
+			for i2 := 0; i2 < n2; i2++ {
+				dst := ((pi1lo+i1)*pd[1] + (i2 + G)) * pd[2]
+				copy(out[dst:dst+n3], blk[pos:pos+n3])
+				pos += n3
+			}
+		}
+	}
+	if p1 == 1 {
+		placeRows(0, rowBlock(n1-G))
+		placeRows(n1+G, rowBlock(0))
+	} else {
+		col := pe.Col
+		up := (pe.Coord[0] + 1) % p1
+		down := (pe.Coord[0] - 1 + p1) % p1
+		const tagUp, tagDown = 101, 102
+		col.Send(up, tagUp, rowBlock(n1-G))  // my top rows -> their low ghosts
+		col.Send(down, tagDown, rowBlock(0)) // my bottom rows -> their high ghosts
+		placeRows(0, col.Recv(down, tagUp).([]float64))
+		placeRows(n1+G, col.Recv(up, tagDown).([]float64))
+	}
+
+	// Phase B: exchange slabs along dimension 1 within the row
+	// communicator. Slabs span the full padded dimension 0, so the corner
+	// halos arrive for free.
+	colBlock := func(pi2lo int) []float64 {
+		blk := make([]float64, pd[0]*G*n3)
+		pos := 0
+		for pi1 := 0; pi1 < pd[0]; pi1++ {
+			for i2 := pi2lo; i2 < pi2lo+G; i2++ {
+				src := (pi1*pd[1] + i2) * pd[2]
+				copy(blk[pos:pos+n3], out[src:src+n3])
+				pos += n3
+			}
+		}
+		return blk
+	}
+	placeCols := func(pi2lo int, blk []float64) {
+		pos := 0
+		for pi1 := 0; pi1 < pd[0]; pi1++ {
+			for i2 := 0; i2 < G; i2++ {
+				dst := (pi1*pd[1] + pi2lo + i2) * pd[2]
+				copy(out[dst:dst+n3], blk[pos:pos+n3])
+				pos += n3
+			}
+		}
+	}
+	if p2 == 1 {
+		placeCols(0, colBlock(n2))
+		placeCols(n2+G, colBlock(G))
+	} else {
+		row := pe.Row
+		right := (pe.Coord[1] + 1) % p2
+		left := (pe.Coord[1] - 1 + p2) % p2
+		const tagRight, tagLeft = 103, 104
+		row.Send(right, tagRight, colBlock(n2)) // my rightmost owned columns
+		row.Send(left, tagLeft, colBlock(G))    // my leftmost owned columns
+		placeCols(0, row.Recv(left, tagRight).([]float64))
+		placeCols(n2+G, row.Recv(right, tagLeft).([]float64))
+	}
+	return out
+}

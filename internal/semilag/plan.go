@@ -1,0 +1,240 @@
+package semilag
+
+import (
+	"sort"
+	"time"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/interp"
+	"diffreg/internal/mpi"
+)
+
+// Plan is the reusable communication plan of Algorithm 1: the "scatter
+// phase" has already been performed, so each rank knows which of its query
+// points are evaluated remotely and which foreign points it must evaluate
+// locally. A plan is built once per velocity field (forward and adjoint
+// direction) per Newton iteration and then reused for every transported
+// quantity and time step.
+type Plan struct {
+	Pe    *grid.Pencil
+	Ghost *Ghost
+	NQ    int // number of local query points
+
+	sendIdx [][]int32   // per dest rank: local output slot of each query
+	recvPts [][]float64 // per source rank: packed (x1,x2,x3) to evaluate
+	// recvPts is stored sorted by base cell so the 64-value tricubic
+	// stencil streams through memory — the cache-blocking optimization the
+	// paper suggests for the memory-bound interpolation (§III-C2).
+	// origIdx[r][k] maps the k-th (sorted) point back to its arrival
+	// position, which is the slot its value must occupy on the wire.
+	origIdx [][]int32
+
+	// OffRank counts query points owned by other ranks (Fig. 3 of the
+	// paper illustrates exactly these points).
+	OffRank int
+	// Evals counts local interpolant evaluations performed through this
+	// plan, for the performance model.
+	Evals int64
+}
+
+// NewPlan builds a plan for the given query points, expressed in global
+// grid-index coordinates (one slice per dimension, equal lengths). Points
+// may lie anywhere; they are wrapped periodically.
+func NewPlan(pe *grid.Pencil, pts [3][]float64) *Plan {
+	nq := len(pts[0])
+	p := pe.Comm.Size()
+	pl := &Plan{Pe: pe, Ghost: NewGhost(pe), NQ: nq}
+
+	sendIdx := make([][]int32, p)
+	sendPts := make([][]float64, p)
+	n := pe.Grid.N
+	for q := 0; q < nq; q++ {
+		x1 := wrapCoord(pts[0][q], n[0])
+		x2 := wrapCoord(pts[1][q], n[1])
+		x3 := wrapCoord(pts[2][q], n[2])
+		j1, _ := interp.SplitIndex(x1, n[0])
+		j2, _ := interp.SplitIndex(x2, n[1])
+		owner := pe.OwnerOf(j1, j2)
+		sendIdx[owner] = append(sendIdx[owner], int32(q))
+		sendPts[owner] = append(sendPts[owner], x1, x2, x3)
+		if owner != pe.Comm.Rank() {
+			pl.OffRank++
+		}
+	}
+	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+	pl.recvPts = pe.Comm.AlltoallvFloat64(sendPts)
+	pe.Comm.SetPhase(old)
+	pl.sendIdx = sendIdx
+	pl.buildOrder()
+	return pl
+}
+
+// buildOrder sorts each incoming point list by base cell in the padded
+// array layout and physically reorders the coordinates, so local
+// evaluation streams through both the point list and the field.
+func (pl *Plan) buildOrder() {
+	pe := pl.Pe
+	pd := pl.Ghost.PaddedDims()
+	n := pe.Grid.N
+	pl.origIdx = make([][]int32, len(pl.recvPts))
+	for r, pts := range pl.recvPts {
+		npts := len(pts) / 3
+		keys := make([]int64, npts)
+		ord := make([]int32, npts)
+		for q := 0; q < npts; q++ {
+			i1, _ := interp.SplitIndex(pts[3*q], n[0])
+			i2, _ := interp.SplitIndex(pts[3*q+1], n[1])
+			i3, _ := interp.SplitIndex(pts[3*q+2], n[2])
+			keys[q] = (int64(i1-pe.Lo[0])*int64(pd[1])+int64(i2-pe.Lo[1]))*int64(pd[2]) + int64(i3)
+			ord[q] = int32(q)
+		}
+		sort.Slice(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
+		sorted := make([]float64, len(pts))
+		for k, q := range ord {
+			copy(sorted[3*k:3*k+3], pts[3*int(q):3*int(q)+3])
+		}
+		pl.recvPts[r] = sorted
+		pl.origIdx[r] = ord
+	}
+}
+
+// wrapCoord maps a continuous coordinate into [0, n).
+func wrapCoord(x float64, n int) float64 {
+	fn := float64(n)
+	for x < 0 {
+		x += fn
+	}
+	for x >= fn {
+		x -= fn
+	}
+	return x
+}
+
+// InterpMany interpolates several scalar fields (given as local arrays with
+// the pencil's dimensions) at the plan's query points. The returned slices
+// are ordered like the original query points. All fields share one value
+// return exchange; each field needs its own halo update.
+func (pl *Plan) InterpMany(fields ...[]float64) [][]float64 {
+	pe := pl.Pe
+	p := pe.Comm.Size()
+	nf := len(fields)
+	// Evaluate every requested point against each padded field.
+	vals := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		vals[r] = make([]float64, nf*len(pl.recvPts[r])/3)
+	}
+	for fi, f := range fields {
+		pe.Comm.CountInterp(int64(pl.NQ))
+		padded := pl.Ghost.Pad(f)
+		t0 := time.Now()
+		pd := pl.Ghost.PaddedDims()
+		for r := 0; r < p; r++ {
+			pts := pl.recvPts[r]
+			npts := len(pts) / 3
+			out := vals[r][fi*npts : (fi+1)*npts]
+			orig := pl.origIdx[r]
+			for k := 0; k < npts; k++ {
+				out[orig[k]] = evalPadded(padded, pd, pe, pts[3*k], pts[3*k+1], pts[3*k+2])
+			}
+			pl.Evals += int64(npts)
+		}
+		pe.Comm.AddExec(mpi.PhaseInterpExec, time.Since(t0).Seconds())
+	}
+	// Return the values to the ranks that asked for them.
+	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+	back := pe.Comm.AlltoallvFloat64(vals)
+	pe.Comm.SetPhase(old)
+
+	outs := make([][]float64, nf)
+	for fi := range outs {
+		outs[fi] = make([]float64, pl.NQ)
+	}
+	for r := 0; r < p; r++ {
+		idx := pl.sendIdx[r]
+		npts := len(idx)
+		for fi := 0; fi < nf; fi++ {
+			seg := back[r][fi*npts : (fi+1)*npts]
+			for j, slot := range idx {
+				outs[fi][slot] = seg[j]
+			}
+		}
+	}
+	return outs
+}
+
+// Interp interpolates a single scalar field at the plan's query points.
+func (pl *Plan) Interp(f []float64) []float64 { return pl.InterpMany(f)[0] }
+
+// evalPadded evaluates the tricubic interpolant on the halo-padded local
+// array. x1 and x2 are global wrapped coordinates whose base cell is owned
+// by this rank; x3 wraps locally since dimension 2 is complete.
+func evalPadded(f []float64, pd [3]int, pe *grid.Pencil, x1, x2, x3 float64) float64 {
+	n3 := pe.Grid.N[2]
+	i1, t1 := interp.SplitIndex(x1, pe.Grid.N[0])
+	i2, t2 := interp.SplitIndex(x2, pe.Grid.N[1])
+	i3, t3 := interp.SplitIndex(x3, n3)
+	li1 := i1 - pe.Lo[0] + GhostWidth
+	li2 := i2 - pe.Lo[1] + GhostWidth
+	w1 := interp.Weights(t1)
+	w2 := interp.Weights(t2)
+	w3 := interp.Weights(t3)
+	var idx3 [4]int
+	for c := 0; c < 4; c++ {
+		j := i3 + c - 1
+		if j < 0 {
+			j += n3
+		} else if j >= n3 {
+			j -= n3
+		}
+		idx3[c] = j
+	}
+	sum := 0.0
+	for a := 0; a < 4; a++ {
+		base1 := (li1 + a - 1) * pd[1]
+		for b := 0; b < 4; b++ {
+			base2 := (base1 + li2 + b - 1) * pd[2]
+			wab := w1[a] * w2[b]
+			line := w3[0]*f[base2+idx3[0]] + w3[1]*f[base2+idx3[1]] +
+				w3[2]*f[base2+idx3[2]] + w3[3]*f[base2+idx3[3]]
+			sum += wab * line
+		}
+	}
+	return sum
+}
+
+// Departure computes the RK2 departure points of eq. (6) for every local
+// grid point: X* = x - dt*v(x), then X = x - dt/2 (v(x) + v(X*)). The
+// velocity is in physical units on the domain [0, 2*pi)^3; the returned
+// coordinates are in global grid-index space, ready for NewPlan.
+func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
+	n := pe.LocalTotal()
+	h := [3]float64{pe.Grid.Spacing(0), pe.Grid.Spacing(1), pe.Grid.Spacing(2)}
+	var star [3][]float64
+	for d := 0; d < 3; d++ {
+		star[d] = make([]float64, n)
+	}
+	pe.EachLocal(func(i1, i2, i3, idx int) {
+		star[0][idx] = float64(pe.Lo[0]+i1) - dt*v.C[0].Data[idx]/h[0]
+		star[1][idx] = float64(pe.Lo[1]+i2) - dt*v.C[1].Data[idx]/h[1]
+		star[2][idx] = float64(pe.Lo[2]+i3) - dt*v.C[2].Data[idx]/h[2]
+	})
+	planStar := NewPlan(pe, star)
+	vStar := planStar.InterpMany(v.C[0].Data, v.C[1].Data, v.C[2].Data)
+	var dep [3][]float64
+	for d := 0; d < 3; d++ {
+		dep[d] = make([]float64, n)
+	}
+	pe.EachLocal(func(i1, i2, i3, idx int) {
+		dep[0][idx] = float64(pe.Lo[0]+i1) - 0.5*dt*(v.C[0].Data[idx]+vStar[0][idx])/h[0]
+		dep[1][idx] = float64(pe.Lo[1]+i2) - 0.5*dt*(v.C[1].Data[idx]+vStar[1][idx])/h[1]
+		dep[2][idx] = float64(pe.Lo[2]+i3) - 0.5*dt*(v.C[2].Data[idx]+vStar[2][idx])/h[2]
+	})
+	return dep
+}
+
+// DeparturePlan builds the interpolation plan for the departure points of
+// velocity v and time step dt — the paper's "interpolation planner".
+func DeparturePlan(pe *grid.Pencil, v *field.Vector, dt float64) *Plan {
+	return NewPlan(pe, Departure(pe, v, dt))
+}

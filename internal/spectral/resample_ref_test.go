@@ -1,0 +1,7 @@
+package spectral
+
+import "diffreg/internal/fft"
+
+func fftResample(global []float64, from, to [3]int) []float64 {
+	return fft.Resample3Real(global, from, to)
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+)
+
+func TestSeriesContextValidates(t *testing.T) {
+	g := grid.MustNew(12, 12, 12)
+	withSolver(t, g, 1, 4, func(s *Solver) error {
+		vs := field.NewSeries(s.Pe, 3)
+		if _, err := s.NewSeriesContext(vs, false); err == nil {
+			t.Error("nt=4 with 3 intervals accepted")
+		}
+		vs2 := field.NewSeries(s.Pe, 2)
+		sc, err := s.NewSeriesContext(vs2, false)
+		if err != nil {
+			return err
+		}
+		if sc.M != 2 || sc.Interval(0) != 0 || sc.Interval(1) != 0 || sc.Interval(2) != 1 || sc.Interval(3) != 1 {
+			t.Errorf("interval mapping wrong: M=%d", sc.M)
+		}
+		return nil
+	})
+}
+
+func TestStateSeriesWithEqualCoefficientsMatchesStationary(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	withSolver(t, g, 2, 4, func(s *Solver) error {
+		v := field.NewVector(s.Pe)
+		v.SetFunc(func(x1, x2, _ float64) (float64, float64, float64) {
+			return 0.3 * math.Sin(x1) * math.Cos(x2), -0.3 * math.Cos(x1) * math.Sin(x2), 0
+		})
+		rho0 := field.NewScalar(s.Pe)
+		rho0.SetFunc(smoothBlob)
+
+		ctx := s.NewContext(v, true)
+		want := s.State(ctx, rho0)
+
+		vs := field.Series{v.Clone(), v.Clone()}
+		sc, err := s.NewSeriesContext(vs, true)
+		if err != nil {
+			return err
+		}
+		got := s.StateSeries(sc, rho0)
+		for j := range want {
+			for i := range want[j] {
+				if math.Abs(want[j][i]-got[j][i]) > 1e-12 {
+					t.Errorf("state differs at t=%d i=%d", j, i)
+					return nil
+				}
+			}
+		}
+		// Adjoint as well.
+		lamT := field.NewScalar(s.Pe)
+		lamT.SetFunc(smoothBlob)
+		wantA := s.Adjoint(ctx, lamT)
+		gotA := s.AdjointSeries(sc, lamT)
+		for j := range wantA {
+			for i := range wantA[j] {
+				if math.Abs(wantA[j][i]-gotA[j][i]) > 1e-12 {
+					t.Errorf("adjoint differs at t=%d i=%d", j, i)
+					return nil
+				}
+			}
+		}
+		// Displacement too.
+		wantU := s.Displacement(ctx)
+		gotU := s.DisplacementSeries(sc)
+		for d := 0; d < 3; d++ {
+			for i := range wantU.C[d].Data {
+				if math.Abs(wantU.C[d].Data[i]-gotU.C[d].Data[i]) > 1e-12 {
+					t.Errorf("displacement differs at d=%d i=%d", d, i)
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestStateSeriesTwoStageFlow(t *testing.T) {
+	// Constant velocity a for the first half of [0,1], b for the second:
+	// the exact solution is rho0(x - (a+b)/2).
+	g := grid.MustNew(24, 24, 24)
+	withSolver(t, g, 1, 4, func(s *Solver) error {
+		a := [3]float64{0.4, 0, 0}
+		b := [3]float64{0, 0.4, 0}
+		vs := field.NewSeries(s.Pe, 2)
+		vs[0].SetFunc(func(_, _, _ float64) (float64, float64, float64) { return a[0], a[1], a[2] })
+		vs[1].SetFunc(func(_, _, _ float64) (float64, float64, float64) { return b[0], b[1], b[2] })
+		sc, err := s.NewSeriesContext(vs, true)
+		if err != nil {
+			return err
+		}
+		rho0 := field.NewScalar(s.Pe)
+		rho0.SetFunc(smoothBlob)
+		got := s.StateSeries(sc, rho0)[s.Nt]
+		maxErr := 0.0
+		s.Pe.EachLocal(func(i1, i2, i3, idx int) {
+			x1, x2, x3 := s.Pe.Coords(i1, i2, i3)
+			want := smoothBlob(x1-(a[0]+b[0])/2, x2-(a[1]+b[1])/2, x3-(a[2]+b[2])/2)
+			if e := math.Abs(got[idx] - want); e > maxErr {
+				maxErr = e
+			}
+		})
+		if maxErr > 1e-2 {
+			t.Errorf("two-stage advection error %g", maxErr)
+		}
+		return nil
+	})
+}
+
+func TestIncStateSeriesDirectionalDerivative(t *testing.T) {
+	// The incremental state of the series problem must match the finite
+	// difference of the series forward solve, with an independent
+	// perturbation per interval.
+	g := grid.MustNew(16, 16, 16)
+	withSolver(t, g, 1, 4, func(s *Solver) error {
+		vs := field.NewSeries(s.Pe, 2)
+		vs[0].SetFunc(func(x1, x2, _ float64) (float64, float64, float64) {
+			return 0.3 * math.Sin(x1) * math.Cos(x2), -0.3 * math.Cos(x1) * math.Sin(x2), 0
+		})
+		vs[1].SetFunc(func(x1, _, x3 float64) (float64, float64, float64) {
+			return 0.2 * math.Cos(x3), 0, 0.2 * math.Sin(x1)
+		})
+		ws := field.NewSeries(s.Pe, 2)
+		ws[0].SetFunc(func(_, x2, x3 float64) (float64, float64, float64) {
+			return 0.2 * math.Cos(x3), 0.1 * math.Sin(x2), 0
+		})
+		ws[1].SetFunc(func(x1, _, _ float64) (float64, float64, float64) {
+			return 0, 0.15 * math.Cos(x1), 0.1 * math.Sin(x1)
+		})
+		rho0 := field.NewScalar(s.Pe)
+		rho0.SetFunc(smoothBlob)
+
+		sc, err := s.NewSeriesContext(vs, false)
+		if err != nil {
+			return err
+		}
+		states := s.StateSeries(sc, rho0)
+		gradRho := s.GradSlices(states)
+		inc := s.IncStateSeries(sc, gradRho, ws)
+
+		eps := 1e-5
+		vp := vs.Clone()
+		vp.Axpy(eps, ws)
+		scp, _ := s.NewSeriesContext(vp, false)
+		statesP := s.StateSeries(scp, rho0)
+		vm := vs.Clone()
+		vm.Axpy(-eps, ws)
+		scm, _ := s.NewSeriesContext(vm, false)
+		statesM := s.StateSeries(scm, rho0)
+
+		maxErr, scale := 0.0, 0.0
+		for i := range inc[s.Nt] {
+			fd := (statesP[s.Nt][i] - statesM[s.Nt][i]) / (2 * eps)
+			if a := math.Abs(fd); a > scale {
+				scale = a
+			}
+			if e := math.Abs(inc[s.Nt][i] - fd); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.05*scale {
+			t.Errorf("series incremental state vs FD: err %g (scale %g)", maxErr, scale)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,44 @@
+package tsreg
+
+import (
+	"math"
+	"testing"
+
+	"diffreg/internal/field"
+	"diffreg/internal/regopt"
+)
+
+// TestFDConvergence verifies the gradient/FD mismatch of the multiframe
+// problem is a discretization consistency error: it must shrink under
+// spatial refinement.
+func TestFDConvergence(t *testing.T) {
+	rels := []float64{}
+	for _, n := range []int{16, 24, 32} {
+		opt := regopt.DefaultOptions()
+		withProblem(t, n, 1, 4, opt, func(pr *Problem, _ *field.Vector) error {
+			pe := pr.Ops.Pe
+			v := field.NewVector(pe)
+			v.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+				return 0.2 * math.Sin(x2) * math.Cos(x3), -0.15 * math.Cos(x1), 0.1 * math.Sin(x1+x2)
+			})
+			w := field.NewVector(pe)
+			w.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+				return 0.3 * math.Cos(x2+x3), 0.2 * math.Sin(x3), -0.25 * math.Cos(x1) * math.Sin(x2)
+			})
+			gw := pr.EvalGradient(v).G.Dot(w)
+			eps := 1e-5
+			vp := v.Clone()
+			vp.Axpy(eps, w)
+			vm := v.Clone()
+			vm.Axpy(-eps, w)
+			fd := (pr.Evaluate(vp).J - pr.Evaluate(vm).J) / (2 * eps)
+			rel := math.Abs(gw-fd) / math.Abs(fd)
+			t.Logf("n=%d: gw=%g fd=%g rel=%g", n, gw, fd, rel)
+			rels = append(rels, rel)
+			return nil
+		})
+	}
+	if rels[len(rels)-1] >= rels[0]/2 {
+		t.Errorf("consistency error does not converge: %v", rels)
+	}
+}

@@ -1,0 +1,10 @@
+package tsreg
+
+import (
+	"diffreg/internal/spectral"
+	"diffreg/internal/transport"
+)
+
+func newTransport(ops *spectral.Ops, nt int) *transport.Solver {
+	return transport.NewSolver(ops, nt)
+}

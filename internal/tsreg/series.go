@@ -1,0 +1,288 @@
+package tsreg
+
+import (
+	"fmt"
+
+	"diffreg/internal/field"
+	"diffreg/internal/optim"
+	"diffreg/internal/regopt"
+	"diffreg/internal/spectral"
+	"diffreg/internal/transport"
+)
+
+// SeriesProblem combines the two extensions §V of the paper pairs
+// together: multiframe (4D) data AND a non-stationary velocity ("[the
+// extension to time-varying velocities] will be necessary to register
+// time-series of images or optical flow problems"). The velocity has one
+// piecewise-constant coefficient per frame interval, so each segment of
+// the sequence is matched by its own flow while the overall trajectory
+// stays a single continuous deformation.
+type SeriesProblem struct {
+	Ops    *spectral.Ops
+	TS     *transport.Solver
+	Frames []*field.Scalar
+	Opt    regopt.Options
+	NC     int // velocity intervals == frame intervals
+
+	stepsPerFrame int
+	cur           *SeriesEval
+
+	StateSolves int
+	Matvecs     int
+}
+
+// NewSeries builds the time-varying multiframe problem: one velocity
+// coefficient per frame interval; Opt.Nt must be divisible by the number
+// of intervals.
+func NewSeries(ops *spectral.Ops, frames []*field.Scalar, opt regopt.Options) (*SeriesProblem, error) {
+	if opt.Beta <= 0 {
+		return nil, fmt.Errorf("tsreg: beta must be positive, got %g", opt.Beta)
+	}
+	k := len(frames) - 1
+	if k < 1 {
+		return nil, fmt.Errorf("tsreg: need at least 2 frames, got %d", len(frames))
+	}
+	if opt.Nt < k || opt.Nt%k != 0 {
+		return nil, fmt.Errorf("tsreg: nt=%d not divisible by %d frame intervals", opt.Nt, k)
+	}
+	return &SeriesProblem{
+		Ops:           ops,
+		TS:            transport.NewSolver(ops, opt.Nt),
+		Frames:        frames,
+		Opt:           opt,
+		NC:            k,
+		stepsPerFrame: opt.Nt / k,
+	}, nil
+}
+
+// SeriesEval caches one evaluation point.
+type SeriesEval struct {
+	V       field.Series
+	SC      *transport.SeriesContext
+	States  [][]float64
+	GradRho [][3][]float64
+	LamPre  [][]float64
+	LamPost [][]float64
+
+	J      float64
+	Misfit float64
+	G      field.Series
+	Gnorm  float64
+}
+
+func (p *SeriesProblem) frameAt(j int) int {
+	if j == 0 || j%p.stepsPerFrame != 0 {
+		return -1
+	}
+	return j / p.stepsPerFrame
+}
+
+func (p *SeriesProblem) regApply(v *field.Vector) *field.Vector {
+	if p.Opt.Reg == regopt.RegH1 {
+		lap := p.Ops.VecLap(v)
+		lap.Scale(-1)
+		return lap
+	}
+	return p.Ops.Biharm(v)
+}
+
+func (p *SeriesProblem) projectOne(v *field.Vector) *field.Vector {
+	if p.Opt.Incompressible {
+		return p.Ops.Leray(v)
+	}
+	return v
+}
+
+// evaluate runs the forward solve and the frame misfits.
+func (p *SeriesProblem) evaluate(vs field.Series) (*SeriesEval, error) {
+	sc, err := p.TS.NewSeriesContext(vs, p.Opt.Incompressible)
+	if err != nil {
+		return nil, err
+	}
+	e := &SeriesEval{V: vs, SC: sc}
+	e.States = p.TS.StateSeries(sc, p.Frames[0])
+	p.StateSolves++
+	res := field.NewScalar(p.Ops.Pe)
+	for j := 0; j <= p.Opt.Nt; j++ {
+		k := p.frameAt(j)
+		if k < 0 {
+			continue
+		}
+		for i := range res.Data {
+			res.Data[i] = e.States[j][i] - p.Frames[k].Data[i]
+		}
+		e.Misfit += 0.5 * res.Dot(res)
+	}
+	e.J = e.Misfit
+	for _, v := range vs {
+		av := p.regApply(v)
+		e.J += 0.5 * p.Opt.Beta * av.Dot(v) / float64(p.NC)
+	}
+	return e, nil
+}
+
+// Evaluate implements optim.Objective.
+func (p *SeriesProblem) Evaluate(vs field.Series) optim.ObjVals {
+	e, err := p.evaluate(vs)
+	if err != nil {
+		panic(err)
+	}
+	return optim.ObjVals{J: e.J, Misfit: e.Misfit}
+}
+
+// adjointSweep runs backward with the time-varying velocity, applying the
+// given jumps at the frame times (stored pre/post as in the stationary
+// multiframe problem).
+func (p *SeriesProblem) adjointSweep(sc *transport.SeriesContext, jumps map[int][]float64) (lamPre, lamPost [][]float64) {
+	nt := p.Opt.Nt
+	n := len(p.Frames[0].Data)
+	lamPre = make([][]float64, nt+1)
+	lamPost = make([][]float64, nt+1)
+	cur := make([]float64, n)
+	lamPre[nt] = cur
+	if j, ok := jumps[nt]; ok {
+		next := make([]float64, n)
+		copy(next, j)
+		cur = next
+	}
+	lamPost[nt] = cur
+	for step := nt - 1; step >= 0; step-- {
+		cur = p.TS.AdjointStepSeries(sc, step, cur)
+		lamPre[step] = cur
+		if j, ok := jumps[step]; ok {
+			next := make([]float64, n)
+			for i := range next {
+				next[i] = cur[i] + j[i]
+			}
+			cur = next
+		}
+		lamPost[step] = cur
+	}
+	return lamPre, lamPost
+}
+
+// accumulateBInterval integrates lam grad rho over interval c with the
+// one-sided adjoint limits at the frame jumps.
+func (p *SeriesProblem) accumulateBInterval(c int, lamPre, lamPost [][]float64, gradRho [][3][]float64) *field.Vector {
+	nt := p.Opt.Nt
+	dt := 1 / float64(nt)
+	m := nt / p.NC
+	b := field.NewVector(p.Ops.Pe)
+	for j := c * m; j < (c+1)*m; j++ {
+		left := lamPre[j]
+		right := lamPost[j+1]
+		for d := 0; d < 3; d++ {
+			grL := gradRho[j][d]
+			grR := gradRho[j+1][d]
+			dst := b.C[d].Data
+			for i := range dst {
+				dst[i] += 0.5 * dt * (left[i]*grL[i] + right[i]*grR[i])
+			}
+		}
+	}
+	return b
+}
+
+// EvalGradient implements optim.Objective.
+func (p *SeriesProblem) EvalGradient(vs field.Series) optim.GradVals[field.Series] {
+	e, err := p.evaluate(vs)
+	if err != nil {
+		panic(err)
+	}
+	n := len(p.Frames[0].Data)
+	jumps := map[int][]float64{}
+	for j := 0; j <= p.Opt.Nt; j++ {
+		k := p.frameAt(j)
+		if k < 0 {
+			continue
+		}
+		jump := make([]float64, n)
+		for i := range jump {
+			jump[i] = p.Frames[k].Data[i] - e.States[j][i]
+		}
+		jumps[j] = jump
+	}
+	e.LamPre, e.LamPost = p.adjointSweep(e.SC, jumps)
+	e.GradRho = p.TS.GradSlices(e.States)
+
+	g := make(field.Series, p.NC)
+	for c := 0; c < p.NC; c++ {
+		b := p.accumulateBInterval(c, e.LamPre, e.LamPost, e.GradRho)
+		gc := p.regApply(vs[c])
+		gc.Scale(p.Opt.Beta)
+		pb := p.projectOne(b)
+		pb.Scale(float64(p.NC))
+		gc.Axpy(1, pb)
+		g[c] = gc
+	}
+	e.G = g
+	e.Gnorm = g.NormL2()
+	p.cur = e
+	return optim.GradVals[field.Series]{J: e.J, Misfit: e.Misfit, G: g, Gnorm: e.Gnorm}
+}
+
+// HessMatVec implements optim.Objective (Gauss-Newton).
+func (p *SeriesProblem) HessMatVec(vts field.Series) field.Series {
+	e := p.cur
+	if e == nil {
+		panic("tsreg: series HessMatVec before EvalGradient")
+	}
+	p.Matvecs++
+	incStates := p.TS.IncStateSeries(e.SC, e.GradRho, vts)
+	n := len(p.Frames[0].Data)
+	jumps := map[int][]float64{}
+	for j := 0; j <= p.Opt.Nt; j++ {
+		if p.frameAt(j) < 0 {
+			continue
+		}
+		jump := make([]float64, n)
+		for i := range jump {
+			jump[i] = -incStates[j][i]
+		}
+		jumps[j] = jump
+	}
+	lamPre, lamPost := p.adjointSweep(e.SC, jumps)
+	h := make(field.Series, p.NC)
+	for c := 0; c < p.NC; c++ {
+		bt := p.accumulateBInterval(c, lamPre, lamPost, e.GradRho)
+		hc := p.regApply(vts[c])
+		hc.Scale(p.Opt.Beta)
+		pb := p.projectOne(bt)
+		pb.Scale(float64(p.NC))
+		hc.Axpy(1, pb)
+		h[c] = hc
+	}
+	return h
+}
+
+// ApplyPrec implements optim.Objective per interval.
+func (p *SeriesProblem) ApplyPrec(r field.Series) field.Series {
+	beta := p.Opt.Beta
+	h2 := p.Opt.Reg == regopt.RegH2
+	out := make(field.Series, len(r))
+	for c := range r {
+		out[c] = p.Ops.DiagVector(r[c], func(k1, k2, k3 int) float64 {
+			q := float64(k1*k1 + k2*k2 + k3*k3)
+			a := q
+			if h2 {
+				a = q * q
+			}
+			if a == 0 {
+				a = 1
+			}
+			return 1 / (beta * a)
+		})
+	}
+	return out
+}
+
+// Project implements optim.Objective per interval.
+func (p *SeriesProblem) Project(vs field.Series) field.Series {
+	out := make(field.Series, len(vs))
+	for c := range vs {
+		out[c] = p.projectOne(vs[c])
+	}
+	return out
+}
+
+var _ optim.Objective[field.Series] = (*SeriesProblem)(nil)

@@ -1,0 +1,302 @@
+// Package tsreg implements multiframe time-series registration — the
+// extension the paper identifies as its main limitation ("In multiframe
+// volume registration (e.g., 4D Cine-MRI) one seeks to register multiple
+// images using a smooth, continuous mapping. Our solver can be used as
+// is ... our parameterization can be extended without any major
+// algorithmic changes", §I Limitations and §V).
+//
+// Given frames rho_0, ..., rho_K at pseudo-times t_k = k/K, the problem is
+//
+//	min_v  1/2 sum_{k=1..K} ||rho(t_k) - rho_k||^2 + beta/2 |v|^2_A
+//	s.t.   d_t rho + v . grad rho = 0,  rho(0) = rho_0,
+//
+// a single flow that interpolates the whole sequence. The adjoint equation
+// acquires delta sources at the frame times, which integrate to jump
+// conditions in the backward sweep:
+//
+//	lambda(t_k^-) = lambda(t_k^+) + (rho_k - rho(t_k)).
+//
+// Everything else — the semi-Lagrangian transport, the spectral operators,
+// the Gauss-Newton-Krylov driver, the parallel decomposition — is reused
+// unchanged, exactly as the paper claims.
+package tsreg
+
+import (
+	"fmt"
+
+	"diffreg/internal/field"
+	"diffreg/internal/optim"
+	"diffreg/internal/regopt"
+	"diffreg/internal/spectral"
+	"diffreg/internal/transport"
+)
+
+// Problem is the multiframe registration problem over a stationary
+// velocity field.
+type Problem struct {
+	Ops    *spectral.Ops
+	TS     *transport.Solver
+	Frames []*field.Scalar // frames[0] is the template at t = 0
+	Opt    regopt.Options  // Beta, Reg, Nt, Incompressible, GaussNewton used
+
+	stepsPerFrame int
+	cur           *Eval
+
+	StateSolves int
+	Matvecs     int
+}
+
+// New builds the problem. Opt.Nt must be divisible by the number of frame
+// intervals (len(frames) - 1), and at least two frames are required.
+func New(ops *spectral.Ops, frames []*field.Scalar, opt regopt.Options) (*Problem, error) {
+	if opt.Beta <= 0 {
+		return nil, fmt.Errorf("tsreg: beta must be positive, got %g", opt.Beta)
+	}
+	k := len(frames) - 1
+	if k < 1 {
+		return nil, fmt.Errorf("tsreg: need at least 2 frames, got %d", len(frames))
+	}
+	if opt.Nt < k || opt.Nt%k != 0 {
+		return nil, fmt.Errorf("tsreg: nt=%d not divisible by %d frame intervals", opt.Nt, k)
+	}
+	return &Problem{
+		Ops:           ops,
+		TS:            transport.NewSolver(ops, opt.Nt),
+		Frames:        frames,
+		Opt:           opt,
+		stepsPerFrame: opt.Nt / k,
+	}, nil
+}
+
+// frameAt returns the frame index at time-step j, or -1 if j is not a
+// frame time (frame 0 at j = 0 never carries a misfit term).
+func (p *Problem) frameAt(j int) int {
+	if j == 0 || j%p.stepsPerFrame != 0 {
+		return -1
+	}
+	return j / p.stepsPerFrame
+}
+
+// Eval caches one evaluation point.
+type Eval struct {
+	V       *field.Vector
+	Ctx     *transport.Context
+	States  [][]float64
+	GradRho [][3][]float64
+	// LamPre[j] is the adjoint limit from above at t_j (the value on the
+	// segment [t_j, t_{j+1}]); LamPost[j] the limit from below (segment
+	// [t_{j-1}, t_j]). They differ only at frame times, by the misfit jump.
+	LamPre  [][]float64
+	LamPost [][]float64
+
+	J      float64
+	Misfit float64
+	G      *field.Vector
+	Gnorm  float64
+}
+
+// regApply applies the regularization operator (without beta).
+func (p *Problem) regApply(v *field.Vector) *field.Vector {
+	if p.Opt.Reg == regopt.RegH1 {
+		lap := p.Ops.VecLap(v)
+		lap.Scale(-1)
+		return lap
+	}
+	return p.Ops.Biharm(v)
+}
+
+// project applies the Leray projection for incompressible problems.
+func (p *Problem) project(v *field.Vector) *field.Vector {
+	if p.Opt.Incompressible {
+		return p.Ops.Leray(v)
+	}
+	return v
+}
+
+// evaluate runs the forward solve and the frame misfits.
+func (p *Problem) evaluate(v *field.Vector) *Eval {
+	e := &Eval{V: v}
+	e.Ctx = p.TS.NewContext(v, p.Opt.Incompressible)
+	e.States = p.TS.State(e.Ctx, p.Frames[0])
+	p.StateSolves++
+
+	res := field.NewScalar(p.Ops.Pe)
+	for j := 0; j <= p.Opt.Nt; j++ {
+		k := p.frameAt(j)
+		if k < 0 {
+			continue
+		}
+		for i := range res.Data {
+			res.Data[i] = e.States[j][i] - p.Frames[k].Data[i]
+		}
+		e.Misfit += 0.5 * res.Dot(res)
+	}
+	av := p.regApply(v)
+	e.J = e.Misfit + 0.5*p.Opt.Beta*av.Dot(v)
+	return e
+}
+
+// Evaluate implements optim.Objective.
+func (p *Problem) Evaluate(v *field.Vector) optim.ObjVals {
+	e := p.evaluate(v)
+	return optim.ObjVals{J: e.J, Misfit: e.Misfit}
+}
+
+// adjointSweep runs the backward sweep with the given jump values at the
+// frame times: jumps[k] is added to lambda as the sweep passes t_k (for
+// the gradient: rho_k - rho(t_k); for the GN matvec: -rho~(t_k)).
+func (p *Problem) adjointSweep(ctx *transport.Context, jumps map[int][]float64) (lamPre, lamPost [][]float64) {
+	nt := p.Opt.Nt
+	n := len(p.Frames[0].Data)
+	lamPre = make([][]float64, nt+1)
+	lamPost = make([][]float64, nt+1)
+	cur := make([]float64, n)
+	lamPre[nt] = cur // unused segment above t_K; zero by convention
+	if j, ok := jumps[nt]; ok {
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = cur[i] + j[i]
+		}
+		cur = next
+	}
+	lamPost[nt] = cur
+	for step := nt - 1; step >= 0; step-- {
+		cur = p.TS.AdjointStep(ctx, cur)
+		lamPre[step] = cur
+		if j, ok := jumps[step]; ok {
+			next := make([]float64, n)
+			for i := range next {
+				next[i] = cur[i] + j[i]
+			}
+			cur = next
+		}
+		lamPost[step] = cur
+	}
+	return lamPre, lamPost
+}
+
+// accumulateB integrates lam grad rho over [0, 1] with the trapezoidal
+// rule, using the one-sided adjoint limits at the frame discontinuities:
+// the step [t_j, t_{j+1}] sees lambda(t_j^+) at its left endpoint and
+// lambda(t_{j+1}^-) at its right endpoint.
+func (p *Problem) accumulateB(lamPre, lamPost [][]float64, gradRho [][3][]float64) *field.Vector {
+	nt := p.Opt.Nt
+	dt := 1 / float64(nt)
+	b := field.NewVector(p.Ops.Pe)
+	for j := 0; j < nt; j++ {
+		left := lamPre[j]
+		right := lamPost[j+1]
+		for d := 0; d < 3; d++ {
+			grL := gradRho[j][d]
+			grR := gradRho[j+1][d]
+			dst := b.C[d].Data
+			for i := range dst {
+				dst[i] += 0.5 * dt * (left[i]*grL[i] + right[i]*grR[i])
+			}
+		}
+	}
+	return b
+}
+
+// EvalGradient implements optim.Objective: the reduced gradient of the
+// multiframe objective, with the frame-misfit jumps in the adjoint.
+func (p *Problem) EvalGradient(v *field.Vector) optim.GradVals[*field.Vector] {
+	e := p.evaluate(v)
+	jumps := map[int][]float64{}
+	n := len(p.Frames[0].Data)
+	for j := 0; j <= p.Opt.Nt; j++ {
+		k := p.frameAt(j)
+		if k < 0 {
+			continue
+		}
+		jump := make([]float64, n)
+		for i := range jump {
+			jump[i] = p.Frames[k].Data[i] - e.States[j][i]
+		}
+		jumps[j] = jump
+	}
+	e.LamPre, e.LamPost = p.adjointSweep(e.Ctx, jumps)
+	e.GradRho = p.TS.GradSlices(e.States)
+
+	b := p.accumulateB(e.LamPre, e.LamPost, e.GradRho)
+	g := p.regApply(v)
+	g.Scale(p.Opt.Beta)
+	g.Axpy(1, p.project(b))
+	e.G = g
+	e.Gnorm = g.NormL2()
+	p.cur = e
+	return optim.GradVals[*field.Vector]{J: e.J, Misfit: e.Misfit, G: g, Gnorm: e.Gnorm}
+}
+
+// HessMatVec implements optim.Objective: the Gauss-Newton matvec with the
+// incremental jumps lam~(t_k^-) = lam~(t_k^+) - rho~(t_k).
+func (p *Problem) HessMatVec(vt *field.Vector) *field.Vector {
+	e := p.cur
+	if e == nil {
+		panic("tsreg: HessMatVec before EvalGradient")
+	}
+	p.Matvecs++
+	incStates := p.TS.IncState(e.Ctx, e.GradRho, vt)
+	jumps := map[int][]float64{}
+	n := len(p.Frames[0].Data)
+	for j := 0; j <= p.Opt.Nt; j++ {
+		if p.frameAt(j) < 0 {
+			continue
+		}
+		jump := make([]float64, n)
+		for i := range jump {
+			jump[i] = -incStates[j][i]
+		}
+		jumps[j] = jump
+	}
+	lamPre, lamPost := p.adjointSweep(e.Ctx, jumps)
+	bt := p.accumulateB(lamPre, lamPost, e.GradRho)
+	h := p.regApply(vt)
+	h.Scale(p.Opt.Beta)
+	h.Axpy(1, p.project(bt))
+	return h
+}
+
+// ApplyPrec implements optim.Objective: the same inverse-regularization
+// spectral preconditioner as the two-image problem.
+func (p *Problem) ApplyPrec(r *field.Vector) *field.Vector {
+	beta := p.Opt.Beta
+	h2 := p.Opt.Reg == regopt.RegH2
+	return p.Ops.DiagVector(r, func(k1, k2, k3 int) float64 {
+		q := float64(k1*k1 + k2*k2 + k3*k3)
+		a := q
+		if h2 {
+			a = q * q
+		}
+		if a == 0 {
+			a = 1
+		}
+		return 1 / (beta * a)
+	})
+}
+
+// Project implements optim.Objective.
+func (p *Problem) Project(v *field.Vector) *field.Vector { return p.project(v) }
+
+// FrameMisfits returns the per-frame misfits at the last gradient point.
+func (p *Problem) FrameMisfits() []float64 {
+	e := p.cur
+	if e == nil {
+		return nil
+	}
+	out := make([]float64, 0, len(p.Frames)-1)
+	res := field.NewScalar(p.Ops.Pe)
+	for j := 0; j <= p.Opt.Nt; j++ {
+		k := p.frameAt(j)
+		if k < 0 {
+			continue
+		}
+		for i := range res.Data {
+			res.Data[i] = e.States[j][i] - p.Frames[k].Data[i]
+		}
+		out = append(out, 0.5*res.Dot(res))
+	}
+	return out
+}
+
+var _ optim.Objective[*field.Vector] = (*Problem)(nil)
