@@ -7,11 +7,20 @@ package diffreg
 // comparison built from the same machinery.
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"diffreg/internal/core"
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
 	"diffreg/internal/paperbench"
+	"diffreg/internal/par"
 	"diffreg/internal/perfmodel"
+	"diffreg/internal/pfft"
+	"diffreg/internal/semilag"
+	"diffreg/internal/spectral"
 )
 
 // solveBench runs one registration solve of the given problem per
@@ -221,4 +230,157 @@ func BenchmarkExtensionTimeVarying(b *testing.B) {
 	if res != nil {
 		b.ReportMetric(res.MisfitFinal/res.MisfitInit, "misfit-ratio")
 	}
+}
+
+// pooledWorkers is the pool size used by the pooled halves of the
+// serial-vs-pooled kernel benchmarks: GOMAXPROCS, but at least 4 so the
+// chunk fan-out is exercised even on narrow CI machines (on a single
+// hardware thread the pooled timing then simply matches serial).
+func pooledWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// benchSerialVsPooled runs body once per iteration under pool size 1 and
+// under pooledWorkers(), as sub-benchmarks "serial" and "pooled". The ratio
+// of the two reported times is the intra-rank speedup of the kernel; the
+// results themselves are bit-identical by the package par determinism
+// guarantee (see TestRegistrationBitIdenticalAcrossPoolSizes).
+func benchSerialVsPooled(b *testing.B, setup func(b *testing.B) func()) {
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			prev := par.SetWorkers(workers)
+			defer par.SetWorkers(prev)
+			body := setup(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				body()
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("pooled", run(pooledWorkers()))
+}
+
+// BenchmarkPoolSpectral measures the Fourier-space diagonal operator
+// scalings (inverse biharmonic + Leray projection, the two regularization
+// hot paths of §III-B1) on a 64^3 single-rank grid, serial vs. pooled.
+func BenchmarkPoolSpectral(b *testing.B) {
+	benchSerialVsPooled(b, func(b *testing.B) func() {
+		var body func()
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(grid.MustNew(64, 64, 64), c)
+			if err != nil {
+				return err
+			}
+			ops := spectral.New(pfft.NewPlan(pe))
+			v := field.NewVector(pe)
+			rng := rand.New(rand.NewSource(21))
+			for d := 0; d < 3; d++ {
+				for i := range v.C[d].Data {
+					v.C[d].Data[i] = rng.NormFloat64()
+				}
+			}
+			body = func() { ops.Leray(ops.InvBiharm(v)) }
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	})
+}
+
+// BenchmarkPoolInterp measures the tricubic stencil evaluation sweep of the
+// semi-Lagrangian plan (one scattered query per grid point, cell-sorted) on
+// a 64^3 single-rank grid, serial vs. pooled.
+func BenchmarkPoolInterp(b *testing.B) {
+	benchSerialVsPooled(b, func(b *testing.B) func() {
+		var body func()
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(grid.MustNew(64, 64, 64), c)
+			if err != nil {
+				return err
+			}
+			rng := rand.New(rand.NewSource(22))
+			nq := pe.LocalTotal()
+			var pts [3][]float64
+			for d := 0; d < 3; d++ {
+				pts[d] = make([]float64, nq)
+				for q := range pts[d] {
+					pts[d][q] = rng.Float64() * 64
+				}
+			}
+			plan := semilag.NewPlan(pe, pts)
+			f := make([]float64, nq)
+			for i := range f {
+				f[i] = rng.NormFloat64()
+			}
+			body = func() { plan.Interp(f) }
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	})
+}
+
+// BenchmarkPoolFFT measures a full 64^3 forward+inverse pencil FFT
+// round-trip (the per-pencil 1D line transforms dominate at one rank),
+// serial vs. pooled.
+func BenchmarkPoolFFT(b *testing.B) {
+	benchSerialVsPooled(b, func(b *testing.B) func() {
+		var body func()
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(grid.MustNew(64, 64, 64), c)
+			if err != nil {
+				return err
+			}
+			plan := pfft.NewPlan(pe)
+			rng := rand.New(rand.NewSource(23))
+			s := make([]float64, pe.LocalTotal())
+			for i := range s {
+				s[i] = rng.NormFloat64()
+			}
+			body = func() { plan.Inverse(plan.Forward(s)) }
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	})
+}
+
+// BenchmarkPoolAxpy measures the pointwise vector ops (package field /
+// optim) that the pool parallelizes at DefaultGrain, serial vs. pooled, on
+// a 64^3 three-component field.
+func BenchmarkPoolAxpy(b *testing.B) {
+	benchSerialVsPooled(b, func(b *testing.B) func() {
+		var body func()
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(grid.MustNew(64, 64, 64), c)
+			if err != nil {
+				return err
+			}
+			x, y := field.NewVector(pe), field.NewVector(pe)
+			rng := rand.New(rand.NewSource(24))
+			for d := 0; d < 3; d++ {
+				for i := range x.C[d].Data {
+					x.C[d].Data[i] = rng.NormFloat64()
+					y.C[d].Data[i] = rng.NormFloat64()
+				}
+			}
+			body = func() { y.Axpy(0.5, x) }
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	})
 }

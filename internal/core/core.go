@@ -13,6 +13,7 @@ import (
 	"diffreg/internal/grid"
 	"diffreg/internal/mpi"
 	"diffreg/internal/optim"
+	"diffreg/internal/par"
 	"diffreg/internal/pfft"
 	"diffreg/internal/regopt"
 	"diffreg/internal/spectral"
@@ -58,6 +59,13 @@ type PhaseBreakdown struct {
 	FFTExec        float64 // measured
 	InterpComm     float64 // modeled
 	InterpExec     float64 // measured
+
+	// PoolWorkers is the shared-memory worker-pool size the solve ran with
+	// (package par); PoolSpeedup is the achieved intra-rank speedup of the
+	// pooled kernel regions — worker-busy time over region wall time,
+	// aggregated over the solve. PoolSpeedup is 1 for a serial pool.
+	PoolWorkers int
+	PoolSpeedup float64
 }
 
 // Counts reports the algorithmic work of a solve.
@@ -105,6 +113,7 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 	}
 
 	before := *pe.Comm.Stats() // snapshot to report only this solve's work
+	parBefore := par.Snapshot()
 	t0 := time.Now()
 
 	out := &Outcome{Problem: pr}
@@ -179,6 +188,11 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 	wall := time.Since(t0).Seconds()
 	after := pe.Comm.Stats()
 	out.Phases = aggregatePhases(pe.Comm, &before, after, wall)
+	// Intra-rank (shared-memory) attribution: the pool counters are global
+	// to the process, so every rank sees (approximately) the same interval
+	// delta; the max over ranks smooths the snapshot skew.
+	out.Phases.PoolWorkers = par.Workers()
+	out.Phases.PoolSpeedup = pe.Comm.AllreduceMax(par.Speedup(parBefore, par.Snapshot()))
 	out.Counts = Counts{
 		NewtonIters:  out.Result.Iters,
 		Matvecs:      pr.Matvecs,

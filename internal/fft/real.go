@@ -1,5 +1,7 @@
 package fft
 
+import "diffreg/internal/par"
+
 // Real-to-complex helpers. A real input line of length n transforms to
 // n/2+1 complex coefficients (the Hermitian-redundant half is dropped),
 // matching the layout of FFTW/AccFFT r2c transforms that the paper's
@@ -58,10 +60,12 @@ func Forward3Real(src []float64, n1, n2, n3 int) []complex128 {
 	m3 := HalfLen(n3)
 	out := make([]complex128, n1*n2*m3)
 	p3 := NewPlan(n3)
-	// r2c along dim 2.
-	for i := 0; i < n1*n2; i++ {
-		p3.ForwardReal(src[i*n3:(i+1)*n3], out[i*m3:(i+1)*m3])
-	}
+	// r2c along dim 2, batches of lines on the worker pool.
+	par.Chunked(n1*n2, lineGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p3.ForwardReal(src[i*n3:(i+1)*n3], out[i*m3:(i+1)*m3])
+		}
+	})
 	transformAxis(out, n1, n2, m3, 1, false)
 	transformAxis(out, n1, n2, m3, 0, false)
 	return out
@@ -76,14 +80,17 @@ func Inverse3Real(src []complex128, n1, n2, n3 int) []float64 {
 	transformAxis(buf, n1, n2, m3, 1, true)
 	out := make([]float64, n1*n2*n3)
 	p3 := NewPlan(n3)
-	for i := 0; i < n1*n2; i++ {
-		p3.InverseReal(buf[i*m3:(i+1)*m3], out[i*n3:(i+1)*n3])
-	}
+	par.Chunked(n1*n2, lineGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p3.InverseReal(buf[i*m3:(i+1)*m3], out[i*n3:(i+1)*n3])
+		}
+	})
 	return out
 }
 
 // transformAxis applies the 1D (inverse) DFT along axis 0 or 1 of a complex
-// array with dimensions n1 x n2 x m3.
+// array with dimensions n1 x n2 x m3. Lines are independent and run in
+// batches on the worker pool with per-chunk scratch.
 func transformAxis(a []complex128, n1, n2, m3, axis int, inverse bool) {
 	var length, stride, count int
 	switch axis {
@@ -97,27 +104,32 @@ func transformAxis(a []complex128, n1, n2, m3, axis int, inverse bool) {
 		panic("fft: bad axis")
 	}
 	p := NewPlan(length)
-	line := make([]complex128, length)
-	res := make([]complex128, length)
-	for c := 0; c < count; c++ {
-		var base int
-		if axis == 0 {
-			base = c
-		} else {
-			// c enumerates (i1, i3) pairs.
-			i1, i3 := c/m3, c%m3
-			base = i1*n2*m3 + i3
+	par.Chunked(count, lineGrain, func(lo, hi int) {
+		line := make([]complex128, length)
+		res := make([]complex128, length)
+		for c := lo; c < hi; c++ {
+			var base int
+			if axis == 0 {
+				base = c
+			} else {
+				// c enumerates (i1, i3) pairs.
+				i1, i3 := c/m3, c%m3
+				base = i1*n2*m3 + i3
+			}
+			for j := 0; j < length; j++ {
+				line[j] = a[base+j*stride]
+			}
+			if inverse {
+				p.Inverse(line, res)
+			} else {
+				p.Forward(line, res)
+			}
+			for j := 0; j < length; j++ {
+				a[base+j*stride] = res[j]
+			}
 		}
-		for j := 0; j < length; j++ {
-			line[j] = a[base+j*stride]
-		}
-		if inverse {
-			p.Inverse(line, res)
-		} else {
-			p.Forward(line, res)
-		}
-		for j := 0; j < length; j++ {
-			a[base+j*stride] = res[j]
-		}
-	}
+	})
 }
+
+// lineGrain is the pool chunk granularity for per-line transforms.
+const lineGrain = 8

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"diffreg/internal/grid"
+	"diffreg/internal/par"
 )
 
 // Scalar is one rank's portion of a distributed scalar field.
@@ -34,14 +35,18 @@ func (s *Scalar) CopyFrom(src *Scalar) { copy(s.Data, src.Data) }
 
 // Fill sets every local value to v.
 func (s *Scalar) Fill(v float64) {
-	for i := range s.Data {
-		s.Data[i] = v
-	}
+	data := s.Data
+	par.For(len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = v
+		}
+	})
 }
 
-// SetFunc evaluates fn at every owned grid point.
+// SetFunc evaluates fn at every owned grid point (on the worker pool; fn
+// must be safe to call concurrently).
 func (s *Scalar) SetFunc(fn func(x1, x2, x3 float64) float64) {
-	s.P.EachLocal(func(i1, i2, i3, idx int) {
+	s.P.EachLocalPar(func(i1, i2, i3, idx int) {
 		x1, x2, x3 := s.P.Coords(i1, i2, i3)
 		s.Data[idx] = fn(x1, x2, x3)
 	})
@@ -49,26 +54,42 @@ func (s *Scalar) SetFunc(fn func(x1, x2, x3 float64) float64) {
 
 // Axpy computes s += a*x.
 func (s *Scalar) Axpy(a float64, x *Scalar) {
-	for i, v := range x.Data {
-		s.Data[i] += a * v
-	}
+	dst, src := s.Data, x.Data
+	par.For(len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] += a * src[i]
+		}
+	})
 }
 
 // Scale multiplies the field by a.
 func (s *Scalar) Scale(a float64) {
-	for i := range s.Data {
-		s.Data[i] *= a
-	}
+	data := s.Data
+	par.For(len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] *= a
+		}
+	})
 }
 
 // Dot returns the global L2 inner product <s, t> including the quadrature
-// weight (cell volume), so it approximates the continuous integral.
+// weight (cell volume), so it approximates the continuous integral. The
+// local reduction runs on the worker pool with fixed chunk association, so
+// the result is bit-identical for every pool size.
 func (s *Scalar) Dot(t *Scalar) float64 {
-	local := 0.0
-	for i, v := range s.Data {
-		local += v * t.Data[i]
-	}
+	local := localDot(s.Data, t.Data)
 	return s.P.Comm.AllreduceSum(local) * s.P.Grid.CellVolume()
+}
+
+// localDot is the deterministic chunked dot product of two local arrays.
+func localDot(a, b []float64) float64 {
+	return par.Sum(len(a), func(lo, hi int) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += a[i] * b[i]
+		}
+		return sum
+	})
 }
 
 // NormL2 returns the continuous L2 norm sqrt(integral s^2).
@@ -76,43 +97,59 @@ func (s *Scalar) NormL2() float64 { return math.Sqrt(s.Dot(s)) }
 
 // MaxAbs returns the global max-norm.
 func (s *Scalar) MaxAbs() float64 {
-	local := 0.0
-	for _, v := range s.Data {
-		if a := math.Abs(v); a > local {
-			local = a
+	data := s.Data
+	local := par.Reduce(len(data), 0, func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi; i++ {
+			if a := math.Abs(data[i]); a > m {
+				m = a
+			}
 		}
-	}
+		return m
+	}, math.Max)
 	return s.P.Comm.AllreduceMax(local)
 }
 
 // Min returns the global minimum value.
 func (s *Scalar) Min() float64 {
-	local := math.Inf(1)
-	for _, v := range s.Data {
-		if v < local {
-			local = v
+	data := s.Data
+	local := par.Reduce(len(data), math.Inf(1), func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if data[i] < m {
+				m = data[i]
+			}
 		}
-	}
+		return m
+	}, math.Min)
 	return s.P.Comm.AllreduceMin(local)
 }
 
 // Max returns the global maximum value.
 func (s *Scalar) Max() float64 {
-	local := math.Inf(-1)
-	for _, v := range s.Data {
-		if v > local {
-			local = v
+	data := s.Data
+	local := par.Reduce(len(data), math.Inf(-1), func(lo, hi int) float64 {
+		m := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if data[i] > m {
+				m = data[i]
+			}
 		}
-	}
+		return m
+	}, math.Max)
 	return s.P.Comm.AllreduceMax(local)
 }
 
 // Mean returns the global mean value.
 func (s *Scalar) Mean() float64 {
-	local := 0.0
-	for _, v := range s.Data {
-		local += v
-	}
+	data := s.Data
+	local := par.Sum(len(data), func(lo, hi int) float64 {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += data[i]
+		}
+		return sum
+	})
 	return s.P.Comm.AllreduceSum(local) / float64(s.P.Grid.Total())
 }
 
@@ -150,9 +187,10 @@ func (v *Vector) Fill(a float64) {
 	}
 }
 
-// SetFunc evaluates a vector-valued function at every owned point.
+// SetFunc evaluates a vector-valued function at every owned point (on the
+// worker pool; fn must be safe to call concurrently).
 func (v *Vector) SetFunc(fn func(x1, x2, x3 float64) (float64, float64, float64)) {
-	v.P.EachLocal(func(i1, i2, i3, idx int) {
+	v.P.EachLocalPar(func(i1, i2, i3, idx int) {
 		x1, x2, x3 := v.P.Coords(i1, i2, i3)
 		a, b, c := fn(x1, x2, x3)
 		v.C[0].Data[idx] = a
@@ -175,13 +213,13 @@ func (v *Vector) Scale(a float64) {
 	}
 }
 
-// Dot returns the global L2 inner product summed over components.
+// Dot returns the global L2 inner product summed over components. Like
+// Scalar.Dot, the reduction association is fixed, so the result does not
+// depend on the pool size.
 func (v *Vector) Dot(w *Vector) float64 {
 	local := 0.0
 	for d := 0; d < 3; d++ {
-		for i, a := range v.C[d].Data {
-			local += a * w.C[d].Data[i]
-		}
+		local += localDot(v.C[d].Data, w.C[d].Data)
 	}
 	return v.P.Comm.AllreduceSum(local) * v.P.Grid.CellVolume()
 }

@@ -192,7 +192,13 @@ func TestDotIndependentOfDecompositionProperty(t *testing.T) {
 			pe.EachLocal(func(i1, i2, i3, idx int) {
 				s.Data[idx] = vals[((pe.Lo[0]+i1)*n[1]+(pe.Lo[1]+i2))*n[2]+pe.Lo[2]+i3]
 			})
-			dots[p] = s.Dot(s)
+			d := s.Dot(s)
+			// Dot is an allreduce, so every rank holds the same value;
+			// only rank 0 writes the shared map (the rank goroutines run
+			// this closure concurrently).
+			if pe.Comm.Rank() == 0 {
+				dots[p] = d
+			}
 			return nil
 		})
 	}

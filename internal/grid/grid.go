@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"diffreg/internal/mpi"
+	"diffreg/internal/par"
 )
 
 // Grid is the global problem grid: N[0] x N[1] x N[2] points on the
@@ -163,4 +164,30 @@ func (p *Pencil) EachLocal(fn func(i1, i2, i3, idx int)) {
 			}
 		}
 	}
+}
+
+// EachLocalPar is EachLocal on the worker pool: contiguous flat-index
+// chunks are evaluated concurrently, so fn must write only data indexed by
+// idx (or otherwise disjoint per point). Within a chunk the order matches
+// the array layout; across chunks it is unspecified.
+func (p *Pencil) EachLocalPar(fn func(i1, i2, i3, idx int)) {
+	n1, n2, n3 := p.Local(0), p.Local(1), p.Local(2)
+	par.For(n1*n2*n3, func(lo, hi int) {
+		i1 := lo / (n2 * n3)
+		rem := lo % (n2 * n3)
+		i2 := rem / n3
+		i3 := rem % n3
+		for idx := lo; idx < hi; idx++ {
+			fn(i1, i2, i3, idx)
+			i3++
+			if i3 == n3 {
+				i3 = 0
+				i2++
+				if i2 == n2 {
+					i2 = 0
+					i1++
+				}
+			}
+		}
+	})
 }

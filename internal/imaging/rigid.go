@@ -51,18 +51,20 @@ func RigidRegister(g grid.Grid, tmpl, ref []float64) RigidResult {
 	}
 	shift := [3]float64{signed(s1, n[0]), signed(s2, n[1]), signed(s3, n[2])}
 
-	warped := make([]float64, len(tmpl))
+	pts := make([]float64, 3*len(tmpl))
 	idx := 0
 	for i1 := 0; i1 < n[0]; i1++ {
 		for i2 := 0; i2 < n[1]; i2++ {
 			for i3 := 0; i3 < n[2]; i3++ {
-				warped[idx] = interp.EvalPeriodic(tmpl, n, [3]float64{
-					float64(i1) - shift[0], float64(i2) - shift[1], float64(i3) - shift[2],
-				})
+				pts[3*idx] = float64(i1) - shift[0]
+				pts[3*idx+1] = float64(i2) - shift[1]
+				pts[3*idx+2] = float64(i3) - shift[2]
 				idx++
 			}
 		}
 	}
+	warped := make([]float64, len(tmpl))
+	interp.EvalPeriodicBatch(tmpl, n, pts, warped)
 	res := RigidResult{Shift: shift, Warped: warped}
 	vol := g.CellVolume()
 	for i := range tmpl {

@@ -6,7 +6,11 @@
 // the paper's flop model for the interpolation phase.
 package interp
 
-import "math"
+import (
+	"math"
+
+	"diffreg/internal/par"
+)
 
 // Weights returns the four cubic Lagrange weights for stencil offsets
 // {-1, 0, 1, 2} at fractional position t in [0, 1). The weights reproduce
@@ -72,6 +76,24 @@ func EvalPeriodic(f []float64, n [3]int, x [3]float64) float64 {
 		}
 	}
 	return sum
+}
+
+// EvalPeriodicBatch evaluates the tricubic interpolant at many points,
+// given as packed (x1, x2, x3) triples, writing out[i] for triple i. The
+// 64-coefficient stencils are independent, so batches run concurrently on
+// the worker pool; results are identical to calling EvalPeriodic per point.
+func EvalPeriodicBatch(f []float64, n [3]int, pts []float64, out []float64) {
+	npts := len(pts) / 3
+	if len(out) != npts {
+		panic("interp: batch output length mismatch")
+	}
+	// One item is a full stencil (~600 flops); a few hundred per chunk
+	// amortize the pool overhead.
+	par.Chunked(npts, 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = EvalPeriodic(f, n, [3]float64{pts[3*i], pts[3*i+1], pts[3*i+2]})
+		}
+	})
 }
 
 // EvalPeriodicLinear is the trilinear counterpart of EvalPeriodic, used by

@@ -5,6 +5,13 @@ package optim
 // stacked velocity coefficients of the time-varying extension) satisfies
 // Vec[field.Series]. The constraint is self-referential so that methods
 // return the concrete type without casts.
+//
+// Determinism contract: implementations run their pointwise loops and
+// reductions on the shared worker pool (package par), and Dot/NormL2 must
+// use a fixed reduction association so the Krylov iteration — whose branch
+// decisions (convergence, curvature) feed back into the iterates — takes
+// bit-identical paths for every pool size. field's implementations satisfy
+// this via par.Sum.
 type Vec[T any] interface {
 	Clone() T
 	Axpy(a float64, x T)

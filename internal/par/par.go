@@ -1,0 +1,275 @@
+// Package par provides the shared-memory execution layer of the solver: a
+// process-wide worker pool with deterministic static chunking, playing the
+// role OpenMP plays under AccFFT in the paper's single-node baseline. The
+// hot kernels (per-pencil 1D FFT lines, Fourier-space diagonal scalings,
+// tricubic stencil sweeps, pointwise vector ops) submit loops here instead
+// of iterating inline, so a single rank exploits all cores while the
+// simulated MPI ranks in package mpi provide the distributed axis.
+//
+// Determinism guarantee: chunk boundaries are a pure function of the trip
+// count n and the caller's grain — never of the worker count or of
+// scheduling — and reductions combine per-chunk partials in chunk order on
+// the calling goroutine. Floating-point results are therefore bit-identical
+// for every pool size, including 1; which worker executes which chunk can
+// vary freely because chunks touch disjoint data. This is what lets the
+// test layer assert exact equality between serial and parallel runs.
+//
+// The pool is global to the process and shared by all simulated MPI ranks:
+// helper goroutines are started lazily up to Workers()-1, and the
+// submitting goroutine always participates in its own job, so a loop makes
+// progress even when every helper is busy with other ranks' work (no
+// nested-pool deadlock is possible).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// DefaultGrain is the target number of items per chunk for pointwise
+	// O(1)-per-item loops (For). Coarse-grained callers (per-line FFTs,
+	// tricubic stencils) pass their own grain to Chunked.
+	DefaultGrain = 4096
+	// maxChunks bounds the chunk count so per-chunk bookkeeping stays
+	// negligible; it is a constant, so chunk boundaries remain a pure
+	// function of (n, grain).
+	maxChunks = 256
+	// maxHelpers bounds the number of pool goroutines ever started.
+	maxHelpers = 64
+)
+
+var (
+	// workers holds the configured pool size; 0 means GOMAXPROCS.
+	workers atomic.Int64
+
+	helperMu sync.Mutex
+	helpers  int
+	queue    = make(chan *job, 4*maxHelpers)
+
+	statCalls  atomic.Int64
+	statChunks atomic.Int64
+	statWallNs atomic.Int64
+	statBusyNs atomic.Int64
+)
+
+// Workers returns the effective pool size: the value set by SetWorkers, or
+// GOMAXPROCS when unset.
+func Workers() int {
+	if w := workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the pool size (1 disables parallel execution; 0 restores
+// the GOMAXPROCS default) and returns the previous setting (0 if it was the
+// default). Results are bit-identical for every setting; only wall-clock
+// time changes.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(workers.Swap(int64(n)))
+}
+
+// Stats is a snapshot of the pool's cumulative activity. Busy is the sum of
+// per-chunk execution times over all workers, Wall the sum of the parallel
+// regions' elapsed times; Busy/Wall over an interval is the achieved
+// intra-rank speedup of that interval.
+type Stats struct {
+	Calls  int64
+	Chunks int64
+	Wall   time.Duration
+	Busy   time.Duration
+}
+
+// Snapshot returns the cumulative pool statistics.
+func Snapshot() Stats {
+	return Stats{
+		Calls:  statCalls.Load(),
+		Chunks: statChunks.Load(),
+		Wall:   time.Duration(statWallNs.Load()),
+		Busy:   time.Duration(statBusyNs.Load()),
+	}
+}
+
+// Speedup returns the intra-rank speedup achieved between two snapshots
+// (1 when no pool activity occurred).
+func Speedup(before, after Stats) float64 {
+	wall := (after.Wall - before.Wall).Seconds()
+	busy := (after.Busy - before.Busy).Seconds()
+	if wall <= 0 || busy <= 0 {
+		return 1
+	}
+	return busy / wall
+}
+
+// job is one parallel loop in flight: a shared chunk cursor plus completion
+// tracking. Helpers that pick up an exhausted job return immediately.
+type job struct {
+	n      int
+	chunks int
+	fn     func(c, lo, hi int)
+	next   atomic.Int64
+	busyNs atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run grabs chunks off the shared cursor until none remain.
+func (j *job) run() {
+	for {
+		c := int(j.next.Add(1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo, hi := chunkBounds(j.n, j.chunks, c)
+		t0 := time.Now()
+		j.fn(c, lo, hi)
+		j.busyNs.Add(int64(time.Since(t0)))
+		j.wg.Done()
+	}
+}
+
+// chunkCount returns the number of chunks for n items at the given grain —
+// a pure function of its arguments, independent of the worker count.
+func chunkCount(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	c := (n + grain - 1) / grain
+	if c > maxChunks {
+		c = maxChunks
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// chunkBounds returns the half-open range [lo, hi) of chunk c out of the
+// balanced chunks of n items (the same balanced-share rule as grid.Share).
+func chunkBounds(n, chunks, c int) (lo, hi int) {
+	return c * n / chunks, (c + 1) * n / chunks
+}
+
+// ensureHelpers lazily starts pool goroutines so that at least want helpers
+// exist (capped at maxHelpers). Helpers persist for the process lifetime.
+func ensureHelpers(want int) {
+	if want > maxHelpers {
+		want = maxHelpers
+	}
+	if want <= 0 {
+		return
+	}
+	helperMu.Lock()
+	for helpers < want {
+		helpers++
+		go func() {
+			for j := range queue {
+				j.run()
+			}
+		}()
+	}
+	helperMu.Unlock()
+}
+
+// forChunks runs fn(c, lo, hi) for every chunk of the fixed decomposition,
+// on the pool when it pays and inline otherwise. It returns only when every
+// chunk has completed.
+func forChunks(n, chunks int, fn func(c, lo, hi int)) {
+	statCalls.Add(1)
+	statChunks.Add(int64(chunks))
+	w := Workers()
+	t0 := time.Now()
+	if w <= 1 || chunks == 1 {
+		for c := 0; c < chunks; c++ {
+			lo, hi := chunkBounds(n, chunks, c)
+			fn(c, lo, hi)
+		}
+		d := int64(time.Since(t0))
+		statWallNs.Add(d)
+		statBusyNs.Add(d)
+		return
+	}
+	j := &job{n: n, chunks: chunks, fn: fn}
+	j.wg.Add(chunks)
+	fan := w - 1
+	if fan > chunks-1 {
+		fan = chunks - 1
+	}
+	ensureHelpers(fan)
+	// Wake up to fan helpers; if the queue is full every helper is already
+	// busy, and the caller simply executes the chunks itself.
+publish:
+	for i := 0; i < fan; i++ {
+		select {
+		case queue <- j:
+		default:
+			break publish
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	statWallNs.Add(int64(time.Since(t0)))
+	statBusyNs.Add(j.busyNs.Load())
+}
+
+// For splits [0, n) into deterministic contiguous chunks of roughly
+// DefaultGrain items and runs fn(lo, hi) for each, concurrently on the
+// pool. fn invocations must touch disjoint data; chunk-to-worker
+// assignment is unspecified.
+func For(n int, fn func(lo, hi int)) {
+	Chunked(n, DefaultGrain, fn)
+}
+
+// Chunked is the batched variant of For for per-line work: grain is the
+// target number of items per chunk, so callers whose items are themselves
+// expensive (a 1D FFT line, a batch of tricubic stencils) get enough chunks
+// to balance load. fn may allocate per-call scratch: it is invoked once per
+// chunk, not once per item.
+func Chunked(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	forChunks(n, chunkCount(n, grain), func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// Sum reduces fn over [0, n): fn returns the partial sum of its chunk, and
+// the partials are added in chunk order with fixed association, so the
+// result is bit-identical for every pool size.
+func Sum(n int, fn func(lo, hi int) float64) float64 {
+	return Reduce(n, 0, fn, func(a, b float64) float64 { return a + b })
+}
+
+// Reduce is the general deterministic reduction: per-chunk partials from fn
+// are combined left-to-right in chunk order as acc = combine(acc, partial),
+// starting from init. The chunk decomposition depends only on n, so the
+// association — and hence the floating-point result — is independent of the
+// worker count.
+func Reduce(n int, init float64, fn func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return init
+	}
+	chunks := chunkCount(n, DefaultGrain)
+	if chunks == 1 {
+		// Single chunk: identical association to the plain serial loop.
+		statCalls.Add(1)
+		statChunks.Add(1)
+		t0 := time.Now()
+		acc := combine(init, fn(0, n))
+		d := int64(time.Since(t0))
+		statWallNs.Add(d)
+		statBusyNs.Add(d)
+		return acc
+	}
+	partials := make([]float64, chunks)
+	forChunks(n, chunks, func(c, lo, hi int) { partials[c] = fn(lo, hi) })
+	acc := init
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}

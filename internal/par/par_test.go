@@ -1,0 +1,201 @@
+package par
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// withWorkers runs body with the pool temporarily sized to n.
+func withWorkers(n int, body func()) {
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	body()
+}
+
+func TestChunkBoundsCoverAndAreDisjoint(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 4096, 4097, 1 << 20} {
+		for _, grain := range []int{1, 8, 512, DefaultGrain} {
+			chunks := chunkCount(n, grain)
+			prev := 0
+			for c := 0; c < chunks; c++ {
+				lo, hi := chunkBounds(n, chunks, c)
+				if lo != prev {
+					t.Fatalf("n=%d grain=%d chunk %d: lo=%d want %d", n, grain, c, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d grain=%d chunk %d: hi=%d < lo=%d", n, grain, c, hi, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d grain=%d: chunks cover [0,%d) want [0,%d)", n, grain, prev, n)
+			}
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		withWorkers(w, func() {
+			const n = 10000
+			hits := make([]int32, n)
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d: index %d visited %d times", w, i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestSumBitIdenticalAcrossPoolSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100003
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64() * math.Exp(10*rng.Float64()-5)
+	}
+	sum := func() float64 {
+		return Sum(n, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += x[i]
+			}
+			return s
+		})
+	}
+	var ref float64
+	withWorkers(1, func() { ref = sum() })
+	for _, w := range []int{2, 3, 4, 7, 16} {
+		withWorkers(w, func() {
+			for rep := 0; rep < 3; rep++ {
+				if got := sum(); got != ref {
+					t.Fatalf("workers=%d rep=%d: sum %x differs from serial %x",
+						w, rep, math.Float64bits(got), math.Float64bits(ref))
+				}
+			}
+		})
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	const n = 50000
+	x := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	x[31337] = 2.5
+	withWorkers(4, func() {
+		got := Reduce(n, math.Inf(-1), func(lo, hi int) float64 {
+			m := math.Inf(-1)
+			for i := lo; i < hi; i++ {
+				if x[i] > m {
+					m = x[i]
+				}
+			}
+			return m
+		}, math.Max)
+		if got != 2.5 {
+			t.Fatalf("Reduce max = %v, want 2.5", got)
+		}
+	})
+}
+
+func TestChunkedGrainOne(t *testing.T) {
+	withWorkers(4, func() {
+		var mu sync.Mutex
+		seen := map[int]bool{}
+		Chunked(37, 1, func(lo, hi int) {
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i] = true
+			}
+			mu.Unlock()
+		})
+		if len(seen) != 37 {
+			t.Fatalf("covered %d of 37 items", len(seen))
+		}
+	})
+}
+
+func TestZeroAndNegativeTripCounts(t *testing.T) {
+	For(0, func(lo, hi int) { t.Fatal("fn called for n=0") })
+	For(-5, func(lo, hi int) { t.Fatal("fn called for n<0") })
+	if s := Sum(0, func(lo, hi int) float64 { return 1 }); s != 0 {
+		t.Fatalf("Sum(0) = %v", s)
+	}
+}
+
+// TestPoolReuseHammer drives the shared pool from many goroutines at once
+// (the simulated-MPI-ranks usage pattern) and checks every loop's result.
+// It is the pool half of the race-detector satellite: run with -race.
+func TestPoolReuseHammer(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	withWorkers(8, func() {
+		const ranks = 6
+		var wg sync.WaitGroup
+		for r := 0; r < ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(r)))
+				for it := 0; it < iters; it++ {
+					n := 1 + rng.Intn(20000)
+					out := make([]float64, n)
+					For(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							out[i] = float64(i)
+						}
+					})
+					got := Sum(n, func(lo, hi int) float64 {
+						s := 0.0
+						for i := lo; i < hi; i++ {
+							s += out[i]
+						}
+						return s
+					})
+					want := float64(n-1) * float64(n) / 2
+					if got != want {
+						t.Errorf("rank %d iter %d: sum=%v want %v", r, it, got, want)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	})
+}
+
+func TestSnapshotAndSpeedup(t *testing.T) {
+	before := Snapshot()
+	withWorkers(2, func() {
+		For(100000, func(lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			_ = s
+		})
+	})
+	after := Snapshot()
+	if after.Calls <= before.Calls {
+		t.Fatalf("Calls did not advance: %d -> %d", before.Calls, after.Calls)
+	}
+	if sp := Speedup(before, after); sp <= 0 || math.IsNaN(sp) {
+		t.Fatalf("Speedup = %v", sp)
+	}
+	if Speedup(after, after) != 1 {
+		t.Fatalf("empty-interval speedup should be 1")
+	}
+}

@@ -112,6 +112,23 @@ func Predict(w Workload, m Machine) Breakdown {
 	return b
 }
 
+// ApplyThreading scales the execution (non-communication) components of a
+// predicted breakdown by a measured intra-rank worker-pool speedup (package
+// par): the spectral scalings and tricubic sweeps are the memory-bound hot
+// paths that shared-memory parallelism accelerates, while the modeled
+// communication terms are unaffected. This composes the paper's Hockney
+// model (distributed axis) with the measured shared-memory axis.
+func ApplyThreading(b Breakdown, speedup float64) Breakdown {
+	if speedup <= 1 {
+		return b
+	}
+	overhead := b.TimeToSolution - (b.FFTExec + b.InterpExec + b.FFTComm + b.InterpComm)
+	b.FFTExec /= speedup
+	b.InterpExec /= speedup
+	b.TimeToSolution = b.FFTExec + b.InterpExec + b.FFTComm + b.InterpComm + overhead/speedup
+	return b
+}
+
 // Calibrate fits the machine constants so that Predict(w) reproduces the
 // target row exactly: the compute rates from the execution columns, the
 // two effective bandwidths from the communication columns (with a fixed

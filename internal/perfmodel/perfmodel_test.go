@@ -145,3 +145,28 @@ func TestEfficiency(t *testing.T) {
 		t.Errorf("no speedup at 2x tasks should be 0.5, got %g", e)
 	}
 }
+
+func TestApplyThreading(t *testing.T) {
+	w := calWorkload(256, 64)
+	m := Calibrate("x", w, MaverickCalibration())
+	b := Predict(w, m)
+	b4 := ApplyThreading(b, 4)
+	if got, want := b4.FFTExec, b.FFTExec/4; math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("FFTExec = %v, want %v", got, want)
+	}
+	if got, want := b4.InterpExec, b.InterpExec/4; math.Abs(got-want) > 1e-12*want {
+		t.Fatalf("InterpExec = %v, want %v", got, want)
+	}
+	if b4.FFTComm != b.FFTComm || b4.InterpComm != b.InterpComm {
+		t.Fatalf("communication terms must be unchanged by threading")
+	}
+	if b4.TimeToSolution >= b.TimeToSolution {
+		t.Fatalf("threading did not reduce time to solution: %v -> %v", b.TimeToSolution, b4.TimeToSolution)
+	}
+	if got := ApplyThreading(b, 1); got != b {
+		t.Fatalf("speedup 1 must be the identity")
+	}
+	if got := ApplyThreading(b, 0.5); got != b {
+		t.Fatalf("sub-unit speedups must be ignored")
+	}
+}

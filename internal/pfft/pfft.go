@@ -14,7 +14,13 @@ import (
 	"diffreg/internal/fft"
 	"diffreg/internal/grid"
 	"diffreg/internal/mpi"
+	"diffreg/internal/par"
 )
+
+// lineGrain is the chunk granularity for per-line work: one item is a full
+// 1D transform, so a handful of lines per chunk already amortizes the pool
+// overhead while leaving enough chunks for load balance.
+const lineGrain = 8
 
 // Plan holds the per-rank state of the distributed transform.
 type Plan struct {
@@ -77,6 +83,39 @@ func (pl *Plan) EachSpec(fn func(idx, k1, k2, k3 int)) {
 	}
 }
 
+// EachSpecPar is EachSpec on the worker pool: the flat spectral index range
+// is split into deterministic contiguous chunks evaluated concurrently.
+// fn must write only data indexed by idx; the wavenumbers passed are
+// identical to EachSpec's.
+func (pl *Plan) EachSpecPar(fn func(idx, k1, k2, k3 int)) {
+	n := pl.Pe.Grid.N
+	d := pl.specDim
+	par.For(d[0]*d[1]*d[2], func(lo, hi int) {
+		i1 := lo / (d[1] * d[2])
+		rem := lo % (d[1] * d[2])
+		i2 := rem / d[2]
+		i3 := rem % d[2]
+		k1 := Wavenumber(i1, n[0])
+		k2 := Wavenumber(pl.specLo[1]+i2, n[1])
+		for idx := lo; idx < hi; idx++ {
+			fn(idx, k1, k2, pl.specLo[2]+i3)
+			i3++
+			if i3 == d[2] {
+				i3 = 0
+				i2++
+				if i2 == d[1] {
+					i2 = 0
+					i1++
+					if i1 < d[0] {
+						k1 = Wavenumber(i1, n[0])
+					}
+				}
+				k2 = Wavenumber(pl.specLo[1]+i2, n[1])
+			}
+		}
+	})
+}
+
 // Forward computes the unnormalized 3D r2c transform of the local real
 // pencil (dims Local(0) x Local(1) x N3) and returns the local spectral
 // block in the layout described by SpecDims.
@@ -88,11 +127,14 @@ func (pl *Plan) Forward(src []float64) []complex128 {
 	m3 := pl.m3
 
 	t0 := time.Now()
-	// Stage 1: r2c along the complete dimension 2.
+	// Stage 1: r2c along the complete dimension 2, one pool chunk per batch
+	// of pencil lines.
 	a := make([]complex128, n1*n2*m3)
-	for i := 0; i < n1*n2; i++ {
-		pl.plan3.ForwardReal(src[i*n3:(i+1)*n3], a[i*m3:(i+1)*m3])
-	}
+	par.Chunked(n1*n2, lineGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pl.plan3.ForwardReal(src[i*n3:(i+1)*n3], a[i*m3:(i+1)*m3])
+		}
+	})
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 
 	// Stage 2: transpose in the row communicator — unsplit dim 1, split
@@ -143,9 +185,11 @@ func (pl *Plan) Inverse(spec []complex128) []float64 {
 	t0 = time.Now()
 	n3 := pe.Grid.N[2]
 	out := make([]float64, pe.LocalTotal())
-	for i := 0; i < dims[0]*dims[1]; i++ {
-		pl.plan3.InverseReal(a[i*pl.m3:(i+1)*pl.m3], out[i*n3:(i+1)*n3])
-	}
+	par.Chunked(dims[0]*dims[1], lineGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pl.plan3.InverseReal(a[i*pl.m3:(i+1)*pl.m3], out[i*n3:(i+1)*n3])
+		}
+	})
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 	return out
 }
@@ -224,30 +268,37 @@ func unpackBlock(dst []complex128, dims, off, blk [3]int, src []complex128) {
 }
 
 // transformAxisLocal applies the 1D transform along the given axis of the
-// local block.
+// local block. Lines are independent, so batches of them run concurrently
+// on the worker pool with per-chunk scratch.
 func transformAxisLocal(p *fft.Plan, a []complex128, dims [3]int, axis int, inverse bool) {
 	length := dims[axis]
 	if p.Len() != length {
 		panic("pfft: plan length mismatch")
 	}
-	line := make([]complex128, length)
-	res := make([]complex128, length)
 	switch axis {
 	case 0:
 		stride := dims[1] * dims[2]
-		for c := 0; c < stride; c++ {
-			for j := 0; j < length; j++ {
-				line[j] = a[c+j*stride]
+		par.Chunked(stride, lineGrain, func(lo, hi int) {
+			line := make([]complex128, length)
+			res := make([]complex128, length)
+			for c := lo; c < hi; c++ {
+				for j := 0; j < length; j++ {
+					line[j] = a[c+j*stride]
+				}
+				apply(p, line, res, inverse)
+				for j := 0; j < length; j++ {
+					a[c+j*stride] = res[j]
+				}
 			}
-			apply(p, line, res, inverse)
-			for j := 0; j < length; j++ {
-				a[c+j*stride] = res[j]
-			}
-		}
+		})
 	case 1:
 		stride := dims[2]
-		for i0 := 0; i0 < dims[0]; i0++ {
-			for i2 := 0; i2 < dims[2]; i2++ {
+		// One item per (i0, i2) pair, i2 fastest — matches the serial order.
+		par.Chunked(dims[0]*dims[2], lineGrain, func(lo, hi int) {
+			line := make([]complex128, length)
+			res := make([]complex128, length)
+			for c := lo; c < hi; c++ {
+				i0, i2 := c/dims[2], c%dims[2]
 				base := i0*dims[1]*dims[2] + i2
 				for j := 0; j < length; j++ {
 					line[j] = a[base+j*stride]
@@ -257,13 +308,17 @@ func transformAxisLocal(p *fft.Plan, a []complex128, dims [3]int, axis int, inve
 					a[base+j*stride] = res[j]
 				}
 			}
-		}
+		})
 	case 2:
-		for i := 0; i < dims[0]*dims[1]; i++ {
-			copy(line, a[i*length:(i+1)*length])
-			apply(p, line, res, inverse)
-			copy(a[i*length:(i+1)*length], res)
-		}
+		par.Chunked(dims[0]*dims[1], lineGrain, func(lo, hi int) {
+			line := make([]complex128, length)
+			res := make([]complex128, length)
+			for i := lo; i < hi; i++ {
+				copy(line, a[i*length:(i+1)*length])
+				apply(p, line, res, inverse)
+				copy(a[i*length:(i+1)*length], res)
+			}
+		})
 	}
 }
 

@@ -8,7 +8,14 @@ import (
 	"diffreg/internal/grid"
 	"diffreg/internal/interp"
 	"diffreg/internal/mpi"
+	"diffreg/internal/par"
 )
+
+// interpGrain is the pool chunk granularity for tricubic point evaluation:
+// one item is a 64-coefficient stencil (~600 flops), so a few hundred
+// points per chunk amortize the pool overhead while preserving the sorted
+// streaming order inside each chunk.
+const interpGrain = 256
 
 // Plan is the reusable communication plan of Algorithm 1: the "scatter
 // phase" has already been performed, so each rank knows which of its query
@@ -82,18 +89,23 @@ func (pl *Plan) buildOrder() {
 		npts := len(pts) / 3
 		keys := make([]int64, npts)
 		ord := make([]int32, npts)
-		for q := 0; q < npts; q++ {
-			i1, _ := interp.SplitIndex(pts[3*q], n[0])
-			i2, _ := interp.SplitIndex(pts[3*q+1], n[1])
-			i3, _ := interp.SplitIndex(pts[3*q+2], n[2])
-			keys[q] = (int64(i1-pe.Lo[0])*int64(pd[1])+int64(i2-pe.Lo[1]))*int64(pd[2]) + int64(i3)
-			ord[q] = int32(q)
-		}
+		par.For(npts, func(lo, hi int) {
+			for q := lo; q < hi; q++ {
+				i1, _ := interp.SplitIndex(pts[3*q], n[0])
+				i2, _ := interp.SplitIndex(pts[3*q+1], n[1])
+				i3, _ := interp.SplitIndex(pts[3*q+2], n[2])
+				keys[q] = (int64(i1-pe.Lo[0])*int64(pd[1])+int64(i2-pe.Lo[1]))*int64(pd[2]) + int64(i3)
+				ord[q] = int32(q)
+			}
+		})
 		sort.Slice(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
 		sorted := make([]float64, len(pts))
-		for k, q := range ord {
-			copy(sorted[3*k:3*k+3], pts[3*int(q):3*int(q)+3])
-		}
+		par.For(npts, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				q := int(ord[k])
+				copy(sorted[3*k:3*k+3], pts[3*q:3*q+3])
+			}
+		})
 		pl.recvPts[r] = sorted
 		pl.origIdx[r] = ord
 	}
@@ -134,9 +146,14 @@ func (pl *Plan) InterpMany(fields ...[]float64) [][]float64 {
 			npts := len(pts) / 3
 			out := vals[r][fi*npts : (fi+1)*npts]
 			orig := pl.origIdx[r]
-			for k := 0; k < npts; k++ {
-				out[orig[k]] = evalPadded(padded, pd, pe, pts[3*k], pts[3*k+1], pts[3*k+2])
-			}
+			// The sorted batches stream through the padded field; chunks of
+			// the sorted order are independent (orig is a permutation, so the
+			// scattered writes are disjoint) and run on the worker pool.
+			par.Chunked(npts, interpGrain, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out[orig[k]] = evalPadded(padded, pd, pe, pts[3*k], pts[3*k+1], pts[3*k+2])
+				}
+			})
 			pl.Evals += int64(npts)
 		}
 		pe.Comm.AddExec(mpi.PhaseInterpExec, time.Since(t0).Seconds())
@@ -214,7 +231,7 @@ func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
 	for d := 0; d < 3; d++ {
 		star[d] = make([]float64, n)
 	}
-	pe.EachLocal(func(i1, i2, i3, idx int) {
+	pe.EachLocalPar(func(i1, i2, i3, idx int) {
 		star[0][idx] = float64(pe.Lo[0]+i1) - dt*v.C[0].Data[idx]/h[0]
 		star[1][idx] = float64(pe.Lo[1]+i2) - dt*v.C[1].Data[idx]/h[1]
 		star[2][idx] = float64(pe.Lo[2]+i3) - dt*v.C[2].Data[idx]/h[2]
@@ -225,7 +242,7 @@ func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
 	for d := 0; d < 3; d++ {
 		dep[d] = make([]float64, n)
 	}
-	pe.EachLocal(func(i1, i2, i3, idx int) {
+	pe.EachLocalPar(func(i1, i2, i3, idx int) {
 		dep[0][idx] = float64(pe.Lo[0]+i1) - 0.5*dt*(v.C[0].Data[idx]+vStar[0][idx])/h[0]
 		dep[1][idx] = float64(pe.Lo[1]+i2) - 0.5*dt*(v.C[1].Data[idx]+vStar[1][idx])/h[1]
 		dep[2][idx] = float64(pe.Lo[2]+i3) - 0.5*dt*(v.C[2].Data[idx]+vStar[2][idx])/h[2]

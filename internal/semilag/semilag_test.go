@@ -287,3 +287,84 @@ func TestPlanExactAtNodes(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPlanReuseCountersAndValues pins the plan-reuse contract: one plan
+// serving several transported quantities (the solver transports the state,
+// adjoint, and incremental fields through the same departure points) must
+// leave OffRank at its build-time value, advance Evals by exactly the local
+// evaluation count per field — identically for batched (InterpMany) and
+// sequential (Interp) use — and return bit-identical values to a fresh
+// plan built from the same points.
+func TestPlanReuseCountersAndValues(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	fields := [][]float64{globalRandom(g.N, 41), globalRandom(g.N, 42), globalRandom(g.N, 43)}
+	_, err := mpi.Run(4, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(100 + c.Rank())))
+		nq := 64
+		var pts [3][]float64
+		for d := 0; d < 3; d++ {
+			pts[d] = make([]float64, nq)
+			for q := range pts[d] {
+				pts[d][q] = rng.Float64() * float64(g.N[d])
+			}
+		}
+		plan := NewPlan(pe, pts)
+		offRank0 := plan.OffRank
+		perField := int64(0)
+		for r := range plan.recvPts {
+			perField += int64(len(plan.recvPts[r]) / 3)
+		}
+		if plan.Evals != 0 {
+			t.Errorf("fresh plan has Evals=%d, want 0", plan.Evals)
+		}
+
+		locals := make([][]float64, len(fields))
+		for i, f := range fields {
+			locals[i] = localOf(pe, f)
+		}
+		batched := plan.InterpMany(locals...)
+		if plan.Evals != int64(len(fields))*perField {
+			t.Errorf("after InterpMany of %d fields: Evals=%d, want %d",
+				len(fields), plan.Evals, int64(len(fields))*perField)
+		}
+		if plan.OffRank != offRank0 {
+			t.Errorf("InterpMany changed OffRank: %d -> %d", offRank0, plan.OffRank)
+		}
+
+		sequential := make([][]float64, len(fields))
+		for i := range locals {
+			sequential[i] = plan.Interp(locals[i])
+		}
+		if plan.Evals != 2*int64(len(fields))*perField {
+			t.Errorf("after sequential reuse: Evals=%d, want %d",
+				plan.Evals, 2*int64(len(fields))*perField)
+		}
+		if plan.OffRank != offRank0 {
+			t.Errorf("sequential reuse changed OffRank: %d -> %d", offRank0, plan.OffRank)
+		}
+
+		for i := range fields {
+			fresh := NewPlan(pe, pts).Interp(locals[i])
+			for q := 0; q < nq; q++ {
+				if math.Float64bits(batched[i][q]) != math.Float64bits(fresh[q]) {
+					t.Errorf("field %d point %d: batched reused plan %v != fresh plan %v",
+						i, q, batched[i][q], fresh[q])
+					return nil
+				}
+				if math.Float64bits(sequential[i][q]) != math.Float64bits(fresh[q]) {
+					t.Errorf("field %d point %d: sequential reused plan %v != fresh plan %v",
+						i, q, sequential[i][q], fresh[q])
+					return nil
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"diffreg/internal/field"
 	"diffreg/internal/grid"
 	"diffreg/internal/interp"
+	"diffreg/internal/par"
 	"diffreg/internal/pfft"
 )
 
@@ -50,7 +51,7 @@ func (o *Ops) InverseInto(spec []complex128, dst *field.Scalar) {
 // field, returning a new field.
 func (o *Ops) DiagScalar(s *field.Scalar, f func(k1, k2, k3 int) float64) *field.Scalar {
 	spec := o.Plan.Forward(s.Data)
-	o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		spec[idx] *= complex(f(k1, k2, k3), 0)
 	})
 	out := field.NewScalar(o.Pe)
@@ -64,7 +65,7 @@ func (o *Ops) DiagVector(v *field.Vector, f func(k1, k2, k3 int) float64) *field
 	out := field.NewVector(o.Pe)
 	for d := 0; d < 3; d++ {
 		spec := o.Plan.Forward(v.C[d].Data)
-		o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+		o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 			spec[idx] *= complex(f(k1, k2, k3), 0)
 		})
 		copy(out.C[d].Data, o.Plan.Inverse(spec))
@@ -81,7 +82,7 @@ func (o *Ops) Grad(s *field.Scalar) *field.Vector {
 	out := field.NewVector(o.Pe)
 	work := make([]complex128, len(spec))
 	for d := 0; d < 3; d++ {
-		o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+		o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 			var f complex128
 			switch d {
 			case 0:
@@ -104,7 +105,7 @@ func (o *Ops) Div(v *field.Vector) *field.Scalar {
 	var acc []complex128
 	for d := 0; d < 3; d++ {
 		spec := o.Plan.Forward(v.C[d].Data)
-		o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+		o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 			var f complex128
 			switch d {
 			case 0:
@@ -119,9 +120,12 @@ func (o *Ops) Div(v *field.Vector) *field.Scalar {
 		if acc == nil {
 			acc = spec
 		} else {
-			for i := range acc {
-				acc[i] += spec[i]
-			}
+			sum := acc
+			par.For(len(sum), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sum[i] += spec[i]
+				}
+			})
 		}
 	}
 	out := field.NewScalar(o.Pe)
@@ -189,7 +193,7 @@ func (o *Ops) Leray(v *field.Vector) *field.Vector {
 	// In Fourier space the projection is v_k -= k (k . v_k)/|k|^2, with the
 	// Nyquist-filtered wavenumbers so that P matches the discrete Div/Grad
 	// operators exactly (then div(Pv) = 0 and P^2 = P to machine precision).
-	o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		kk := [3]float64{kfilt(k1, n[0]), kfilt(k2, n[1]), kfilt(k3, n[2])}
 		q := kk[0]*kk[0] + kk[1]*kk[1] + kk[2]*kk[2]
 		if q == 0 {
@@ -219,7 +223,7 @@ func (o *Ops) GradDiv(v *field.Vector) *field.Vector {
 		specs[d] = o.Plan.Forward(v.C[d].Data)
 	}
 	n := o.Pe.Grid.N
-	o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		kk := [3]float64{kfilt(k1, n[0]), kfilt(k2, n[1]), kfilt(k3, n[2])}
 		dot := complex(kk[0], 0)*specs[0][idx] + complex(kk[1], 0)*specs[1][idx] + complex(kk[2], 0)*specs[2][idx]
 		for d := 0; d < 3; d++ {
@@ -240,7 +244,7 @@ func (o *Ops) GradDiv(v *field.Vector) *field.Vector {
 // spectrally differentiable.
 func (o *Ops) GaussianSmooth(s *field.Scalar, sigma [3]float64) {
 	spec := o.Plan.Forward(s.Data)
-	o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		e := float64(k1*k1)*sigma[0]*sigma[0] + float64(k2*k2)*sigma[1]*sigma[1] + float64(k3*k3)*sigma[2]*sigma[2]
 		spec[idx] *= complex(math.Exp(-e/2), 0)
 	})
@@ -295,7 +299,7 @@ func ResampleVector(src, dst *Ops, v *field.Vector) *field.Vector {
 func (o *Ops) BSplinePrefilter(s *field.Scalar) {
 	n := o.Pe.Grid.N
 	spec := o.Plan.Forward(s.Data)
-	o.Plan.EachSpec(func(idx, k1, k2, k3 int) {
+	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		f := interp.BSplineSymbol(k1, n[0]) * interp.BSplineSymbol(k2, n[1]) * interp.BSplineSymbol(k3, n[2])
 		spec[idx] /= complex(f, 0)
 	})

@@ -305,7 +305,7 @@ func (s *Solver) ApplyMap(img *field.Scalar, u *field.Vector) *field.Scalar {
 	for d := 0; d < 3; d++ {
 		pts[d] = make([]float64, n)
 	}
-	pe.EachLocal(func(i1, i2, i3, idx int) {
+	pe.EachLocalPar(func(i1, i2, i3, idx int) {
 		pts[0][idx] = float64(pe.Lo[0]+i1) + u.C[0].Data[idx]/h[0]
 		pts[1][idx] = float64(pe.Lo[1]+i2) + u.C[1].Data[idx]/h[1]
 		pts[2][idx] = float64(pe.Lo[2]+i3) + u.C[2].Data[idx]/h[2]
