@@ -255,6 +255,7 @@ func benchSerialVsPooled(b *testing.B, setup func(b *testing.B) func()) {
 			prev := par.SetWorkers(workers)
 			defer par.SetWorkers(prev)
 			body := setup(b)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				body()

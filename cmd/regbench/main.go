@@ -10,6 +10,7 @@
 //	regbench -figure 5            # a single figure (1-7; 6 and 7 together)
 //	regbench -out results/        # also write PGM slice images
 //	regbench -quick               # smaller measurement grids
+//	regbench -perf                # spectral pipeline perf snapshot (JSON)
 package main
 
 import (
@@ -26,12 +27,21 @@ func main() {
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	out := flag.String("out", "", "directory for PGM slice images (omit to skip files)")
 	quick := flag.Bool("quick", false, "use smaller measurement grids")
+	perf := flag.Bool("perf", false, "print the spectral pipeline performance snapshot as JSON")
 	flag.Parse()
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fail(err)
 		}
+	}
+	if *perf {
+		rep, err := paperbench.Perf()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Text)
+		return
 	}
 	if !*all && *table == 0 && *figure == 0 {
 		flag.Usage()

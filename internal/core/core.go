@@ -7,6 +7,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"diffreg/internal/field"
@@ -66,6 +67,14 @@ type PhaseBreakdown struct {
 	// aggregated over the solve. PoolSpeedup is 1 for a serial pool.
 	PoolWorkers int
 	PoolSpeedup float64
+
+	// AllocCount/AllocBytes are the heap allocations and bytes allocated
+	// during the solve (runtime.MemStats deltas). The Go heap is shared by
+	// all simulated ranks in the process, so these are process-global
+	// figures, not per-rank ones; they attribute allocator pressure to the
+	// solve as a whole.
+	AllocCount float64
+	AllocBytes float64
 }
 
 // Counts reports the algorithmic work of a solve.
@@ -76,6 +85,14 @@ type Counts struct {
 	FFTs         int64
 	InterpSweeps int64
 	InterpPoints int64
+
+	// Alltoalls counts all-to-all collectives (the latency term of the
+	// transpose model); TransposeStages/TransposeFields record how many
+	// pencil-transpose stages communicated and how many field-transposes
+	// they carried — Fields/Stages is the achieved batching factor.
+	Alltoalls       int64
+	TransposeStages int64
+	TransposeFields int64
 }
 
 // Outcome is the result of one registration solve on the calling rank.
@@ -114,6 +131,8 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 
 	before := *pe.Comm.Stats() // snapshot to report only this solve's work
 	parBefore := par.Snapshot()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	t0 := time.Now()
 
 	out := &Outcome{Problem: pr}
@@ -193,13 +212,22 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 	// delta; the max over ranks smooths the snapshot skew.
 	out.Phases.PoolWorkers = par.Workers()
 	out.Phases.PoolSpeedup = pe.Comm.AllreduceMax(par.Speedup(parBefore, par.Snapshot()))
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	// The heap counters are process-global; the max over ranks just smooths
+	// snapshot skew between the rank goroutines.
+	out.Phases.AllocCount = pe.Comm.AllreduceMax(float64(memAfter.Mallocs - memBefore.Mallocs))
+	out.Phases.AllocBytes = pe.Comm.AllreduceMax(float64(memAfter.TotalAlloc - memBefore.TotalAlloc))
 	out.Counts = Counts{
-		NewtonIters:  out.Result.Iters,
-		Matvecs:      pr.Matvecs,
-		StateSolves:  pr.StateSolves,
-		FFTs:         after.FFTs - before.FFTs,
-		InterpSweeps: after.InterpSweeps - before.InterpSweeps,
-		InterpPoints: after.InterpPoints - before.InterpPoints,
+		NewtonIters:     out.Result.Iters,
+		Matvecs:         pr.Matvecs,
+		StateSolves:     pr.StateSolves,
+		FFTs:            after.FFTs - before.FFTs,
+		InterpSweeps:    after.InterpSweeps - before.InterpSweeps,
+		InterpPoints:    after.InterpPoints - before.InterpPoints,
+		Alltoalls:       after.Alltoalls - before.Alltoalls,
+		TransposeStages: after.TransposeStages - before.TransposeStages,
+		TransposeFields: after.TransposeFields - before.TransposeFields,
 	}
 	return out, nil
 }

@@ -110,6 +110,16 @@ func buildPlan(n int) *Plan {
 // Len returns the transform length of the plan.
 func (p *Plan) Len() int { return p.n }
 
+// WorkLen returns the scratch length (complex values) the *Work transform
+// variants require: n for the radix-2 inverse conjugate trick, 2m for the
+// Bluestein convolution buffers.
+func (p *Plan) WorkLen() int {
+	if p.pow2 {
+		return p.n
+	}
+	return 2 * len(p.bkernel)
+}
+
 // forwardPow2 computes the unnormalized forward DFT of src into dst
 // (radix-2 path, len(src) == len(dst) == p.n, which must be a power of 2).
 func (p *Plan) forwardPow2(src, dst []complex128) {
@@ -147,6 +157,42 @@ func (p *Plan) Forward(src, dst []complex128) {
 	p.bluestein(src, dst, false)
 }
 
+// ForwardWork is Forward with caller-provided scratch (len >= WorkLen());
+// it performs no heap allocations, which is what the pencil FFT's
+// plan-owned workspaces rely on. The scratch contents need not be zeroed.
+func (p *Plan) ForwardWork(src, dst, work []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic("fft: length mismatch")
+	}
+	if p.pow2 {
+		p.forwardPow2(src, dst)
+		return
+	}
+	p.bluesteinWork(src, dst, false, work)
+}
+
+// InverseWork is Inverse with caller-provided scratch (len >= WorkLen());
+// it performs no heap allocations.
+func (p *Plan) InverseWork(src, dst, work []complex128) {
+	if len(src) != p.n || len(dst) != p.n {
+		panic("fft: length mismatch")
+	}
+	n := p.n
+	if p.pow2 {
+		buf := work[:n]
+		for i, v := range src {
+			buf[i] = cmplx.Conj(v)
+		}
+		p.forwardPow2(buf, dst)
+		inv := 1 / float64(n)
+		for i, v := range dst {
+			dst[i] = complex(real(v)*inv, -imag(v)*inv)
+		}
+		return
+	}
+	p.bluesteinWork(src, dst, true, work)
+}
+
 // Inverse computes the normalized inverse DFT
 // x_j = (1/n) sum_k X_k exp(+2*pi*i*j*k/n).
 func (p *Plan) Inverse(src, dst []complex128) {
@@ -172,11 +218,18 @@ func (p *Plan) Inverse(src, dst []complex128) {
 	p.bluestein(src, dst, true)
 }
 
-// bluestein evaluates the chirp-z transform for arbitrary n.
+// bluestein evaluates the chirp-z transform for arbitrary n with pooled
+// scratch.
 func (p *Plan) bluestein(src, dst []complex128, inverse bool) {
-	n, m := p.n, p.bfft.n
 	bufp := p.scratch.Get().(*[]complex128)
-	buf := *bufp
+	p.bluesteinWork(src, dst, inverse, *bufp)
+	p.scratch.Put(bufp)
+}
+
+// bluesteinWork evaluates the chirp-z transform using the caller's scratch
+// buffer of length >= 2m.
+func (p *Plan) bluesteinWork(src, dst []complex128, inverse bool, buf []complex128) {
+	n, m := p.n, p.bfft.n
 	a := buf[:m]
 	b := buf[m : 2*m]
 	for i := range a {
@@ -214,5 +267,4 @@ func (p *Plan) bluestein(src, dst []complex128, inverse bool) {
 			dst[k] = v * p.chirp[k]
 		}
 	}
-	p.scratch.Put(bufp)
 }

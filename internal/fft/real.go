@@ -11,22 +11,33 @@ import "diffreg/internal/par"
 // transform of length n.
 func HalfLen(n int) int { return n/2 + 1 }
 
+// RealWorkLen returns the scratch length (complex values) the real *Work
+// transform variants require: the two full complex lines plus the complex
+// kernel's own scratch.
+func (p *Plan) RealWorkLen() int { return 2*p.n + p.WorkLen() }
+
 // ForwardReal computes the unnormalized r2c DFT of src (length n) into dst
 // (length n/2+1).
 func (p *Plan) ForwardReal(src []float64, dst []complex128) {
+	// Straightforward full complex transform of the real data. This wastes
+	// a factor of two over a split-radix real kernel but keeps the code
+	// simple; the distributed transposes dominate at scale anyway.
+	p.ForwardRealWork(src, dst, make([]complex128, p.RealWorkLen()))
+}
+
+// ForwardRealWork is ForwardReal with caller-provided scratch of length
+// >= RealWorkLen(); it performs no heap allocations.
+func (p *Plan) ForwardRealWork(src []float64, dst, work []complex128) {
 	n := p.n
 	if len(src) != n || len(dst) != HalfLen(n) {
 		panic("fft: r2c length mismatch")
 	}
-	// Straightforward full complex transform of the real data. This wastes
-	// a factor of two over a split-radix real kernel but keeps the code
-	// simple; the distributed transposes dominate at scale anyway.
-	a := make([]complex128, n)
-	b := make([]complex128, n)
+	a := work[:n]
+	b := work[n : 2*n]
 	for i, v := range src {
 		a[i] = complex(v, 0)
 	}
-	p.Forward(a, b)
+	p.ForwardWork(a, b, work[2*n:])
 	copy(dst, b[:HalfLen(n)])
 }
 
@@ -34,17 +45,23 @@ func (p *Plan) ForwardReal(src []float64, dst []complex128) {
 // non-redundant coefficients of a Hermitian spectrum; dst receives the real
 // signal of length n.
 func (p *Plan) InverseReal(src []complex128, dst []float64) {
+	p.InverseRealWork(src, dst, make([]complex128, p.RealWorkLen()))
+}
+
+// InverseRealWork is InverseReal with caller-provided scratch of length
+// >= RealWorkLen(); it performs no heap allocations.
+func (p *Plan) InverseRealWork(src []complex128, dst []float64, work []complex128) {
 	n := p.n
 	if len(src) != HalfLen(n) || len(dst) != n {
 		panic("fft: c2r length mismatch")
 	}
-	a := make([]complex128, n)
-	b := make([]complex128, n)
+	a := work[:n]
+	b := work[n : 2*n]
 	copy(a, src)
 	for k := HalfLen(n); k < n; k++ {
 		a[k] = complexConj(src[n-k])
 	}
-	p.Inverse(a, b)
+	p.InverseWork(a, b, work[2*n:])
 	for i := range dst {
 		dst[i] = real(b[i])
 	}

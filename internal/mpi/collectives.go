@@ -178,6 +178,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 // to rank i, and the returned slice recv[i] is what rank i sent to us.
 // Self-exchange is a local copy and is not charged communication cost.
 func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
+	c.stats.Alltoalls++
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")
@@ -202,6 +203,7 @@ func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
 // AlltoallvComplex is AlltoallvFloat64 for complex128 payloads; it is the
 // transpose primitive of the distributed FFT.
 func (c *Comm) AlltoallvComplex(send [][]complex128) [][]complex128 {
+	c.stats.Alltoalls++
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")
@@ -223,6 +225,7 @@ func (c *Comm) AlltoallvComplex(send [][]complex128) [][]complex128 {
 
 // AlltoallvInt exchanges int slices; used for communication-plan metadata.
 func (c *Comm) AlltoallvInt(send [][]int) [][]int {
+	c.stats.Alltoalls++
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")

@@ -141,6 +141,18 @@ type Stats struct {
 	FFTs         int64 // 3D transforms performed (forward or inverse)
 	InterpSweeps int64 // off-grid interpolation passes over a field
 	InterpPoints int64 // tricubic point evaluations
+
+	// Alltoalls counts all-to-all collective invocations (any payload
+	// type); each fused pencil transpose issues exactly one, however many
+	// fields it carries, so this is the latency-term counter of the
+	// ts*sqrt(p) model.
+	Alltoalls int64
+	// TransposeStages / TransposeFields count the pencil-FFT transpose
+	// stages that actually communicated (communicator size > 1) and the
+	// field-transposes they carried; Fields/Stages is the achieved
+	// batching factor (1 = unbatched, 3 = a full vector per collective).
+	TransposeStages int64
+	TransposeFields int64
 }
 
 // TotalModeled returns the modeled communication time summed over phases.
@@ -230,10 +242,21 @@ func (c *Comm) AddExec(p Phase, seconds float64) { c.stats.MeasuredExec[p] += se
 // CountFFT records one distributed 3D transform.
 func (c *Comm) CountFFT() { c.stats.FFTs++ }
 
+// CountFFTs records n distributed 3D transforms at once (a batched pipeline
+// carrying n fields still performs n logical transforms).
+func (c *Comm) CountFFTs(n int) { c.stats.FFTs += int64(n) }
+
 // CountInterp records one interpolation sweep evaluating n points.
 func (c *Comm) CountInterp(n int64) {
 	c.stats.InterpSweeps++
 	c.stats.InterpPoints += n
+}
+
+// CountTranspose records one communicating pencil-transpose stage carrying
+// the given number of fields through a single all-to-all.
+func (c *Comm) CountTranspose(fields int) {
+	c.stats.TransposeStages++
+	c.stats.TransposeFields += int64(fields)
 }
 
 // Stats returns this rank's accumulated statistics.

@@ -1,0 +1,156 @@
+package paperbench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/par"
+	"diffreg/internal/pfft"
+	"diffreg/internal/spectral"
+)
+
+// PerfCase is one measured spectral microbenchmark. Timing uses the
+// session's worker pool; allocation counts are taken with a one-worker
+// pool, the steady-state condition the zero-allocation gates assert.
+type PerfCase struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// PerfSnapshot is the machine-readable output of `regbench -perf`: the
+// spectral hot-path microbenchmarks on a 64^3 single-rank grid plus the
+// all-to-all counts of one 3-component vector forward at 4 ranks.
+type PerfSnapshot struct {
+	Grid        [3]int     `json:"grid"`
+	PoolWorkers int        `json:"pool_workers"`
+	Cases       []PerfCase `json:"cases"`
+
+	VecFwdAlltoallsBatched  int64   `json:"vec_forward_alltoalls_batched"`
+	VecFwdAlltoallsPerField int64   `json:"vec_forward_alltoalls_per_field"`
+	BatchingFactor          float64 `json:"batching_factor"`
+}
+
+// measurePerf times body over iters runs (current pool), then re-runs
+// allocIters times under a serial pool to count steady-state allocations.
+func measurePerf(name string, iters, allocIters int, body func()) PerfCase {
+	body() // warm plan and operator workspaces
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		body()
+	}
+	ns := float64(time.Since(t0).Nanoseconds()) / float64(iters)
+
+	prev := par.SetWorkers(1)
+	body() // re-warm any serial-path state
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < allocIters; i++ {
+		body()
+	}
+	runtime.ReadMemStats(&m1)
+	par.SetWorkers(prev)
+	return PerfCase{
+		Name:        name,
+		NsPerOp:     ns,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(allocIters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(allocIters),
+	}
+}
+
+// Perf measures the PR 3 spectral pipeline figures and returns them as
+// JSON (the report text), suitable for redirecting into a BENCH file.
+func Perf() (Report, error) {
+	g := grid.MustNew(64, 64, 64)
+	snap := PerfSnapshot{Grid: g.N, PoolWorkers: par.Workers()}
+
+	_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		pl := pfft.NewPlan(pe)
+		ops := spectral.New(pl)
+		rng := rand.New(rand.NewSource(31))
+		src := make([]float64, pe.LocalTotal())
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		spec := make([]complex128, pl.SpecLocalTotal())
+		back := make([]float64, pe.LocalTotal())
+		v := field.NewVector(pe)
+		for d := 0; d < 3; d++ {
+			for i := range v.C[d].Data {
+				v.C[d].Data[i] = rng.NormFloat64()
+			}
+		}
+
+		snap.Cases = append(snap.Cases,
+			measurePerf("fft_roundtrip_alloc", 8, 4, func() {
+				s := pl.Forward(src)
+				_ = pl.Inverse(s)
+			}),
+			measurePerf("fft_roundtrip_into", 8, 4, func() {
+				pl.ForwardInto(src, spec)
+				pl.InverseInto(spec, back)
+			}),
+			measurePerf("leray_alloc", 4, 2, func() { _ = ops.Leray(v) }),
+			measurePerf("leray_inplace", 4, 2, func() { ops.LerayInPlace(v) }),
+		)
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	// All-to-all counts of a 3-component vector forward at 4 ranks: the
+	// batched transform must issue one exchange per transpose stage, the
+	// per-field path one per stage per field.
+	_, err = mpi.Run(4, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		pl := pfft.NewPlan(pe)
+		srcs := make([][]float64, 3)
+		rng := rand.New(rand.NewSource(int64(32 + c.Rank())))
+		for b := range srcs {
+			srcs[b] = make([]float64, pe.LocalTotal())
+			for i := range srcs[b] {
+				srcs[b][i] = rng.NormFloat64()
+			}
+		}
+		before := *c.Stats()
+		pl.ForwardBatch(srcs)
+		mid := *c.Stats()
+		for _, s := range srcs {
+			pl.Forward(s)
+		}
+		after := *c.Stats()
+		if c.Rank() == 0 {
+			snap.VecFwdAlltoallsBatched = mid.Alltoalls - before.Alltoalls
+			snap.VecFwdAlltoallsPerField = after.Alltoalls - mid.Alltoalls
+			stages := mid.TransposeStages - before.TransposeStages
+			if stages > 0 {
+				snap.BatchingFactor = float64(mid.TransposeFields-before.TransposeFields) / float64(stages)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	text, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Title: "Spectral pipeline performance snapshot", Text: string(text)}, nil
+}

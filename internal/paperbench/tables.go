@@ -79,8 +79,8 @@ func modelTable(rows []paperRow, w0 perfmodel.Workload, m perfmodel.Machine) str
 func measuredScaling(n [3]int, tasks []int, prob Problem, cfg core.Config) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "measured on this implementation (grid %dx%dx%d, goroutine ranks):\n", n[0], n[1], n[2])
-	fmt.Fprintf(&b, "%6s | %10s %10s %10s %10s | %12s | %8s | %10s\n",
-		"tasks", "fft-comm", "fft-exec", "int-comm", "int-exec", "busy-time", "newton", "pool-spdup")
+	fmt.Fprintf(&b, "%6s | %10s %10s %10s %10s | %12s | %8s | %10s | %9s\n",
+		"tasks", "fft-comm", "fft-exec", "int-comm", "int-exec", "busy-time", "newton", "pool-spdup", "a2a-batch")
 	base := 0.0
 	for _, p := range tasks {
 		out, err := RunMeasurement(n, p, prob, cfg)
@@ -92,9 +92,15 @@ func measuredScaling(n [3]int, tasks []int, prob Problem, cfg core.Config) (stri
 		if base == 0 {
 			base = busy * float64(tasks[0])
 		}
-		fmt.Fprintf(&b, "%6d | %10.4f %10.4f %10.4f %10.4f | %12.4f | %8d | %4.2fx @%-3d\n",
+		// Achieved transpose batching factor: field-transposes carried per
+		// all-to-all stage (1 at p = 1, where no transpose communicates).
+		batch := 1.0
+		if out.Counts.TransposeStages > 0 {
+			batch = float64(out.Counts.TransposeFields) / float64(out.Counts.TransposeStages)
+		}
+		fmt.Fprintf(&b, "%6d | %10.4f %10.4f %10.4f %10.4f | %12.4f | %8d | %4.2fx @%-3d | %8.2fx\n",
 			p, ph.FFTComm, ph.FFTExec, ph.InterpComm, ph.InterpExec, busy, out.Counts.NewtonIters,
-			ph.PoolSpeedup, ph.PoolWorkers)
+			ph.PoolSpeedup, ph.PoolWorkers, batch)
 	}
 	return b.String(), nil
 }

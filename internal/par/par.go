@@ -237,6 +237,31 @@ func Chunked(n, grain int, fn func(lo, hi int)) {
 	forChunks(n, chunkCount(n, grain), func(_, lo, hi int) { fn(lo, hi) })
 }
 
+// Chunks returns the number of chunks Chunked/ForChunks would use for n
+// items at the given grain — a pure function of its arguments, exported so
+// allocation-free callers can size per-chunk scratch ahead of time. The
+// result never exceeds MaxChunks.
+func Chunks(n, grain int) int { return chunkCount(n, grain) }
+
+// MaxChunks is the upper bound on the chunk count of any parallel region;
+// per-chunk scratch pools never need more than MaxChunks slots.
+const MaxChunks = maxChunks
+
+// ForChunks runs fn(c, lo, hi) for every chunk of the deterministic
+// decomposition of n items at the given grain, concurrently on the pool.
+// Unlike Chunked it passes the chunk index c (0 <= c < Chunks(n, grain)) and
+// invokes fn directly with no wrapper closure, so a caller that retains fn
+// across calls (e.g. a kernel stored on a plan) performs zero allocations
+// per region when the pool is serial. fn invocations must touch disjoint
+// data; per-chunk scratch indexed by c is safe because no two chunks share
+// an index.
+func ForChunks(n, grain int, fn func(c, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	forChunks(n, chunkCount(n, grain), fn)
+}
+
 // Sum reduces fn over [0, n): fn returns the partial sum of its chunk, and
 // the partials are added in chunk order with fixed association, so the
 // result is bit-identical for every pool size.

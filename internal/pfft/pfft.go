@@ -6,6 +6,14 @@
 // communicators, and a final transform along the first dimension. Each
 // transpose is an all-to-all of N^3/p elements per rank, which is exactly
 // the 3*N^3/p + ts*sqrt(p) term of the paper's communication model.
+//
+// Transforms run through plan-owned workspaces: every Plan carries a
+// reusable arena (stage buffers, transpose pack slab, per-chunk 1D line
+// scratch) and prebuilt pool kernels, so the *Into entry points perform
+// zero heap allocations after warmup. The batched entry points carry B
+// fields through the pipeline together and fuse each transpose into a
+// single all-to-all with field-interleaved payloads — one latency term
+// ts*sqrt(p) amortized over all B components instead of paid B times.
 package pfft
 
 import (
@@ -31,6 +39,54 @@ type Plan struct {
 	specLo  [3]int // global offsets of the local spectral block
 
 	plan1, plan2, plan3 *fft.Plan
+
+	// Local dims at the pipeline stages: dimsA after the r2c stage,
+	// dimsB after the row transpose, specDim after the column transpose.
+	dimsA, dimsB [3]int
+
+	ws workspace
+	st batchState
+
+	// Prebuilt pool kernels (see batchState): retaining them on the plan
+	// means a transform spawns no closures, which together with the
+	// workspace arena makes the *Into paths allocation-free.
+	fnRealFwd func(c, lo, hi int)
+	fnRealInv func(c, lo, hi int)
+	fnCplx    func(c, lo, hi int)
+
+	// Single-field headers backing ForwardInto/InverseInto.
+	oneReal [1][]float64
+	oneSpec [1][]complex128
+}
+
+// workspace is the plan-owned arena reused across transforms. It grows to
+// the largest batch size seen and is never shrunk, so steady-state calls
+// allocate nothing.
+type workspace struct {
+	fields     int             // batch capacity (B)
+	stageMax   int             // max local elements at any pipeline stage
+	bufA, bufB [][]complex128  // per-field stage buffers, stageMax each
+	hdrA, hdrB [][]complex128  // reusable per-field slice headers
+	send       [][]complex128  // per-target headers into sendSlab
+	sendSlab   []complex128    // fused transpose pack buffer
+	line       []complex128    // per-chunk 1D line scratch slab
+	lineLen    int             // scratch complexes per chunk
+	chunkCap   int             // chunk slots in line
+}
+
+// batchState carries the parameters of the pool kernel currently running.
+// A Plan is owned by one rank goroutine, so a single mutable state is safe;
+// the pool workers read it only through the prebuilt kernels while the
+// owning goroutine blocks in par.ForChunks.
+type batchState struct {
+	srcs    [][]float64    // real inputs (forward r2c stage)
+	outs    [][]float64    // real outputs (inverse c2r stage)
+	cur     [][]complex128 // per-field complex arrays of the current stage
+	dims    [3]int
+	axis    int
+	inverse bool
+	fp      *fft.Plan
+	lines   int // lines per field in the current stage
 }
 
 // NewPlan builds a transform plan for the pencil decomposition.
@@ -44,7 +100,121 @@ func NewPlan(pe *grid.Pencil) *Plan {
 	lo3, hi3 := grid.Share(pl.m3, pe.P[1], pe.Coord[1])
 	pl.specDim = [3]int{n[0], hi2 - lo2, hi3 - lo3}
 	pl.specLo = [3]int{0, lo2, lo3}
+	pl.dimsA = [3]int{pe.Local(0), pe.Local(1), pl.m3}
+	pl.dimsB = [3]int{pe.Local(0), n[1], pl.specDim[2]}
+	pl.buildKernels()
 	return pl
+}
+
+// buildKernels constructs the three pool kernels once; they read the
+// current stage parameters from pl.st and per-chunk scratch from the arena.
+func (pl *Plan) buildKernels() {
+	n3 := pl.Pe.Grid.N[2]
+	m3 := pl.m3
+	pl.fnRealFwd = func(c, lo, hi int) {
+		st := &pl.st
+		work := pl.chunkScratch(c)
+		for g := lo; g < hi; g++ {
+			b, i := g/st.lines, g%st.lines
+			pl.plan3.ForwardRealWork(st.srcs[b][i*n3:(i+1)*n3], st.cur[b][i*m3:(i+1)*m3], work)
+		}
+	}
+	pl.fnRealInv = func(c, lo, hi int) {
+		st := &pl.st
+		work := pl.chunkScratch(c)
+		for g := lo; g < hi; g++ {
+			b, i := g/st.lines, g%st.lines
+			pl.plan3.InverseRealWork(st.cur[b][i*m3:(i+1)*m3], st.outs[b][i*n3:(i+1)*n3], work)
+		}
+	}
+	pl.fnCplx = func(c, lo, hi int) {
+		st := &pl.st
+		d := st.dims
+		length := d[st.axis]
+		work := pl.chunkScratch(c)
+		line := work[:length]
+		res := work[length : 2*length]
+		fw := work[2*length:]
+		for g := lo; g < hi; g++ {
+			b, i := g/st.lines, g%st.lines
+			a := st.cur[b]
+			var base, stride int
+			switch st.axis {
+			case 0:
+				stride = d[1] * d[2]
+				base = i
+			case 1:
+				stride = d[2]
+				// i enumerates (i0, i2) pairs, i2 fastest.
+				base = (i/d[2])*d[1]*d[2] + i%d[2]
+			default:
+				stride = 1
+				base = i * length
+			}
+			for j := 0; j < length; j++ {
+				line[j] = a[base+j*stride]
+			}
+			if st.inverse {
+				st.fp.InverseWork(line, res, fw)
+			} else {
+				st.fp.ForwardWork(line, res, fw)
+			}
+			for j := 0; j < length; j++ {
+				a[base+j*stride] = res[j]
+			}
+		}
+	}
+}
+
+// chunkScratch returns chunk c's slice of the line-scratch slab.
+func (pl *Plan) chunkScratch(c int) []complex128 {
+	return pl.ws.line[c*pl.ws.lineLen : (c+1)*pl.ws.lineLen]
+}
+
+// ensureBatch grows the workspace to carry b fields. Called on every
+// transform; a no-op once the arena has seen the largest batch.
+func (pl *Plan) ensureBatch(b int) {
+	ws := &pl.ws
+	if ws.fields >= b {
+		return
+	}
+	prodA := pl.dimsA[0] * pl.dimsA[1] * pl.dimsA[2]
+	prodB := pl.dimsB[0] * pl.dimsB[1] * pl.dimsB[2]
+	ws.stageMax = prodA
+	if prodB > ws.stageMax {
+		ws.stageMax = prodB
+	}
+	if t := pl.SpecLocalTotal(); t > ws.stageMax {
+		ws.stageMax = t
+	}
+	for len(ws.bufA) < b {
+		ws.bufA = append(ws.bufA, make([]complex128, ws.stageMax))
+		ws.bufB = append(ws.bufB, make([]complex128, ws.stageMax))
+	}
+	ws.hdrA = make([][]complex128, b)
+	ws.hdrB = make([][]complex128, b)
+	if q := max(pl.Pe.P[0], pl.Pe.P[1]); len(ws.send) < q {
+		ws.send = make([][]complex128, q)
+	}
+	ws.sendSlab = make([]complex128, b*ws.stageMax)
+	n := pl.Pe.Grid.N
+	ws.lineLen = pl.plan3.RealWorkLen()
+	if l := 2*n[0] + pl.plan1.WorkLen(); l > ws.lineLen {
+		ws.lineLen = l
+	}
+	if l := 2*n[1] + pl.plan2.WorkLen(); l > ws.lineLen {
+		ws.lineLen = l
+	}
+	ws.chunkCap = par.Chunks(b*ws.stageMax, lineGrain)
+	ws.line = make([]complex128, ws.chunkCap*ws.lineLen)
+	ws.fields = b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // SpecDims returns the local dimensions of the spectral array.
@@ -120,130 +290,262 @@ func (pl *Plan) EachSpecPar(fn func(idx, k1, k2, k3 int)) {
 // pencil (dims Local(0) x Local(1) x N3) and returns the local spectral
 // block in the layout described by SpecDims.
 func (pl *Plan) Forward(src []float64) []complex128 {
-	pe := pl.Pe
-	pe.Comm.CountFFT()
-	n1, n2 := pe.Local(0), pe.Local(1)
-	n3 := pe.Grid.N[2]
-	m3 := pl.m3
+	dst := make([]complex128, pl.SpecLocalTotal())
+	pl.ForwardInto(src, dst)
+	return dst
+}
 
-	t0 := time.Now()
-	// Stage 1: r2c along the complete dimension 2, one pool chunk per batch
-	// of pencil lines.
-	a := make([]complex128, n1*n2*m3)
-	par.Chunked(n1*n2, lineGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			pl.plan3.ForwardReal(src[i*n3:(i+1)*n3], a[i*m3:(i+1)*m3])
+// ForwardInto is Forward writing into a caller-provided spectral block;
+// it performs zero heap allocations after workspace warmup (the in-process
+// all-to-all still allocates on multi-rank communicators).
+func (pl *Plan) ForwardInto(src []float64, dst []complex128) {
+	pl.oneReal[0] = src
+	pl.oneSpec[0] = dst
+	pl.ForwardBatchInto(pl.oneReal[:], pl.oneSpec[:])
+	pl.oneReal[0] = nil
+	pl.oneSpec[0] = nil
+}
+
+// ForwardBatch transforms B fields together, fusing each transpose into a
+// single all-to-all (one latency term for the whole batch).
+func (pl *Plan) ForwardBatch(srcs [][]float64) [][]complex128 {
+	dsts := make([][]complex128, len(srcs))
+	for b := range dsts {
+		dsts[b] = make([]complex128, pl.SpecLocalTotal())
+	}
+	pl.ForwardBatchInto(srcs, dsts)
+	return dsts
+}
+
+// ForwardBatchInto is ForwardBatch into caller-provided spectral blocks.
+// Every dsts[b] must have length SpecLocalTotal.
+func (pl *Plan) ForwardBatchInto(srcs [][]float64, dsts [][]complex128) {
+	pe := pl.Pe
+	B := len(srcs)
+	if len(dsts) != B {
+		panic("pfft: batch src/dst count mismatch")
+	}
+	for b := 0; b < B; b++ {
+		if len(srcs[b]) != pe.LocalTotal() || len(dsts[b]) != pl.SpecLocalTotal() {
+			panic("pfft: batch field length mismatch")
 		}
-	})
+	}
+	pl.ensureBatch(B)
+	pe.Comm.CountFFTs(B)
+	qRow, qCol := pe.Row.Size(), pe.Col.Size()
+	st := &pl.st
+	prodA := pl.dimsA[0] * pl.dimsA[1] * pl.dimsA[2]
+
+	// Stage 1: r2c along the complete dimension 2. When no transpose
+	// follows (both communicators trivial) the spectral layout equals the
+	// stage-1 layout, so the lines land directly in dsts.
+	cur := dsts
+	if qRow > 1 || qCol > 1 {
+		for b := 0; b < B; b++ {
+			pl.ws.hdrA[b] = pl.ws.bufA[b][:prodA]
+		}
+		cur = pl.ws.hdrA[:B]
+	}
+	dims := pl.dimsA
+	t0 := time.Now()
+	st.srcs, st.cur, st.lines = srcs, cur, pl.dimsA[0]*pl.dimsA[1]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnRealFwd)
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 
 	// Stage 2: transpose in the row communicator — unsplit dim 1, split
-	// dim 2: (n1, n2loc, m3) -> (n1, N2, m3loc).
-	a, dims := reshuffle(pe.Row, a, [3]int{n1, n2, m3}, 1, 2, pe.Grid.N[1])
+	// dim 2: (n1, n2loc, m3) -> (n1, N2, m3loc). Trivial communicators
+	// leave the block untouched (the shares are the whole axes), so the
+	// stage is skipped entirely instead of copied.
+	if qRow > 1 {
+		nxt := dsts
+		if qCol > 1 {
+			prodB := pl.dimsB[0] * pl.dimsB[1] * pl.dimsB[2]
+			for b := 0; b < B; b++ {
+				pl.ws.hdrB[b] = pl.ws.bufB[b][:prodB]
+			}
+			nxt = pl.ws.hdrB[:B]
+		}
+		dims = pl.reshuffleBatch(pe.Row, cur, nxt, dims, 1, 2, pe.Grid.N[1])
+		cur = nxt
+	}
 
 	t0 = time.Now()
-	transformAxisLocal(pl.plan2, a, dims, 1, false)
+	st.cur, st.dims, st.axis, st.inverse, st.fp = cur, dims, 1, false, pl.plan2
+	st.lines = dims[0] * dims[2]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnCplx)
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 
 	// Stage 3: transpose in the column communicator — unsplit dim 0,
 	// split dim 1: (n1loc, N2, m3loc) -> (N1, n2loc2, m3loc).
-	a, dims = reshuffle(pe.Col, a, dims, 0, 1, pe.Grid.N[0])
+	if qCol > 1 {
+		dims = pl.reshuffleBatch(pe.Col, cur, dsts, dims, 0, 1, pe.Grid.N[0])
+		cur = dsts
+	}
 
 	t0 = time.Now()
-	transformAxisLocal(pl.plan1, a, dims, 0, false)
+	st.cur, st.dims, st.axis, st.inverse, st.fp = cur, dims, 0, false, pl.plan1
+	st.lines = dims[1] * dims[2]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnCplx)
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 
 	if dims != pl.specDim {
 		panic("pfft: spectral dims mismatch")
 	}
-	return a
+	st.srcs, st.cur = nil, nil
 }
 
 // Inverse computes the normalized inverse transform of a local spectral
 // block back to the local real pencil. The input is not modified.
 func (pl *Plan) Inverse(spec []complex128) []float64 {
-	pe := pl.Pe
-	pe.Comm.CountFFT()
-	a := make([]complex128, len(spec))
-	copy(a, spec)
-	dims := pl.specDim
-
-	t0 := time.Now()
-	transformAxisLocal(pl.plan1, a, dims, 0, true)
-	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
-
-	// Undo the column transpose: split dim 0, unsplit dim 1.
-	a, dims = reshuffle(pe.Col, a, dims, 1, 0, pe.Grid.N[1])
-
-	t0 = time.Now()
-	transformAxisLocal(pl.plan2, a, dims, 1, true)
-	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
-
-	// Undo the row transpose: split dim 1, unsplit dim 2.
-	a, dims = reshuffle(pe.Row, a, dims, 2, 1, pl.m3)
-
-	t0 = time.Now()
-	n3 := pe.Grid.N[2]
-	out := make([]float64, pe.LocalTotal())
-	par.Chunked(dims[0]*dims[1], lineGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			pl.plan3.InverseReal(a[i*pl.m3:(i+1)*pl.m3], out[i*n3:(i+1)*n3])
-		}
-	})
-	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+	out := make([]float64, pl.Pe.LocalTotal())
+	pl.InverseInto(spec, out)
 	return out
 }
 
-// reshuffle redistributes a local 3D complex block within comm: axis u,
-// currently split across the communicator, becomes complete (global length
-// gu), while axis s, currently complete, becomes split. Returns the new
-// local block and its dimensions.
-func reshuffle(c *mpi.Comm, data []complex128, dims [3]int, u, s, gu int) ([]complex128, [3]int) {
-	q := c.Size()
-	if q == 1 {
-		// Nothing moves; dims stay identical because the split shares are
-		// the whole axes.
-		newDims := dims
-		newDims[u] = gu
-		newDims[s] = dims[s]
-		res := make([]complex128, len(data))
-		copy(res, data)
-		return res, newDims
+// InverseInto is Inverse writing into a caller-provided real pencil; it
+// performs zero heap allocations after workspace warmup.
+func (pl *Plan) InverseInto(spec []complex128, dst []float64) {
+	pl.oneSpec[0] = spec
+	pl.oneReal[0] = dst
+	pl.InverseBatchInto(pl.oneSpec[:], pl.oneReal[:])
+	pl.oneSpec[0] = nil
+	pl.oneReal[0] = nil
+}
+
+// InverseBatch inverts B spectral blocks together with fused transposes.
+// The inputs are not modified.
+func (pl *Plan) InverseBatch(specs [][]complex128) [][]float64 {
+	outs := make([][]float64, len(specs))
+	for b := range outs {
+		outs[b] = make([]float64, pl.Pe.LocalTotal())
 	}
+	pl.InverseBatchInto(specs, outs)
+	return outs
+}
+
+// InverseBatchInto is InverseBatch into caller-provided real pencils.
+func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) {
+	pe := pl.Pe
+	B := len(specs)
+	if len(outs) != B {
+		panic("pfft: batch src/dst count mismatch")
+	}
+	for b := 0; b < B; b++ {
+		if len(specs[b]) != pl.SpecLocalTotal() || len(outs[b]) != pe.LocalTotal() {
+			panic("pfft: batch field length mismatch")
+		}
+	}
+	pl.ensureBatch(B)
+	pe.Comm.CountFFTs(B)
+	qRow, qCol := pe.Row.Size(), pe.Col.Size()
+	st := &pl.st
+
+	// Work on a copy so the caller's spectrum survives.
+	total := pl.SpecLocalTotal()
+	for b := 0; b < B; b++ {
+		pl.ws.hdrA[b] = pl.ws.bufA[b][:total]
+		copy(pl.ws.hdrA[b], specs[b])
+	}
+	cur := pl.ws.hdrA[:B]
+	dims := pl.specDim
+
+	t0 := time.Now()
+	st.cur, st.dims, st.axis, st.inverse, st.fp = cur, dims, 0, true, pl.plan1
+	st.lines = dims[1] * dims[2]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnCplx)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Undo the column transpose: split dim 0, unsplit dim 1.
+	if qCol > 1 {
+		prodB := pl.dimsB[0] * pl.dimsB[1] * pl.dimsB[2]
+		for b := 0; b < B; b++ {
+			pl.ws.hdrB[b] = pl.ws.bufB[b][:prodB]
+		}
+		nxt := pl.ws.hdrB[:B]
+		dims = pl.reshuffleBatch(pe.Col, cur, nxt, dims, 1, 0, pe.Grid.N[1])
+		cur = nxt
+	}
+
+	t0 = time.Now()
+	st.cur, st.dims, st.axis, st.inverse, st.fp = cur, dims, 1, true, pl.plan2
+	st.lines = dims[0] * dims[2]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnCplx)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+
+	// Undo the row transpose: split dim 1, unsplit dim 2.
+	if qRow > 1 {
+		prodA := pl.dimsA[0] * pl.dimsA[1] * pl.dimsA[2]
+		for b := 0; b < B; b++ {
+			pl.ws.hdrA[b] = pl.ws.bufA[b][:prodA]
+		}
+		nxt := pl.ws.hdrA[:B]
+		dims = pl.reshuffleBatch(pe.Row, cur, nxt, dims, 2, 1, pl.m3)
+		cur = nxt
+	}
+	if dims != pl.dimsA {
+		panic("pfft: pencil dims mismatch")
+	}
+
+	t0 = time.Now()
+	st.cur, st.outs, st.lines = cur, outs, dims[0]*dims[1]
+	par.ForChunks(B*st.lines, lineGrain, pl.fnRealInv)
+	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
+	st.outs, st.cur = nil, nil
+}
+
+// reshuffleBatch redistributes the B per-field blocks src within comm:
+// axis u, currently split across the communicator, becomes complete
+// (global length gu), while axis s, currently complete, becomes split.
+// All B fields travel in one AlltoallvComplex with field-interleaved
+// payloads; dst[b] receives field b. Returns the new local dimensions.
+// Callers skip trivial communicators (size 1) entirely — the shares are
+// the whole axes, so the block is already in its destination layout.
+func (pl *Plan) reshuffleBatch(c *mpi.Comm, src, dst [][]complex128, dims [3]int, u, s, gu int) [3]int {
+	q := c.Size()
+	B := len(src)
 	old := c.SetPhase(mpi.PhaseFFTComm)
 	defer c.SetPhase(old)
+	c.CountTranspose(B)
 
-	send := make([][]complex128, q)
+	ws := &pl.ws
+	pos := 0
 	for t := 0; t < q; t++ {
 		lo, hi := grid.Share(dims[s], q, t)
-		blockDims := dims
-		blockDims[s] = hi - lo
+		blk := dims
+		blk[s] = hi - lo
 		off := [3]int{}
 		off[s] = lo
-		send[t] = packBlock(data, dims, off, blockDims)
+		blkTot := blk[0] * blk[1] * blk[2]
+		part := ws.sendSlab[pos : pos+B*blkTot]
+		pos += B * blkTot
+		for b := 0; b < B; b++ {
+			packBlockInto(part[b*blkTot:(b+1)*blkTot], src[b], dims, off, blk)
+		}
+		ws.send[t] = part
 	}
-	recv := c.AlltoallvComplex(send)
+	recv := c.AlltoallvComplex(ws.send[:q])
 
 	myLoS, myHiS := grid.Share(dims[s], q, c.Rank())
 	newDims := dims
 	newDims[u] = gu
 	newDims[s] = myHiS - myLoS
-	res := make([]complex128, newDims[0]*newDims[1]*newDims[2])
 	for r := 0; r < q; r++ {
 		loU, hiU := grid.Share(gu, q, r)
-		blockDims := newDims
-		blockDims[u] = hiU - loU
+		blk := newDims
+		blk[u] = hiU - loU
 		off := [3]int{}
 		off[u] = loU
-		unpackBlock(res, newDims, off, blockDims, recv[r])
+		blkTot := blk[0] * blk[1] * blk[2]
+		for b := 0; b < B; b++ {
+			unpackBlock(dst[b], newDims, off, blk, recv[r][b*blkTot:(b+1)*blkTot])
+		}
 	}
-	return res, newDims
+	return newDims
 }
 
-// packBlock extracts the sub-block of a 3D array starting at off with the
-// given block dimensions into a contiguous slice.
-func packBlock(src []complex128, dims, off, blk [3]int) []complex128 {
-	out := make([]complex128, blk[0]*blk[1]*blk[2])
+// packBlockInto extracts the sub-block of a 3D array starting at off with
+// the given block dimensions into the caller's contiguous slice.
+func packBlockInto(out, src []complex128, dims, off, blk [3]int) {
 	pos := 0
 	for i0 := 0; i0 < blk[0]; i0++ {
 		for i1 := 0; i1 < blk[1]; i1++ {
@@ -252,7 +554,6 @@ func packBlock(src []complex128, dims, off, blk [3]int) []complex128 {
 			pos += blk[2]
 		}
 	}
-	return out
 }
 
 // unpackBlock writes a contiguous block into the sub-region of dst at off.
@@ -264,68 +565,5 @@ func unpackBlock(dst []complex128, dims, off, blk [3]int, src []complex128) {
 			copy(dst[base:base+blk[2]], src[pos:pos+blk[2]])
 			pos += blk[2]
 		}
-	}
-}
-
-// transformAxisLocal applies the 1D transform along the given axis of the
-// local block. Lines are independent, so batches of them run concurrently
-// on the worker pool with per-chunk scratch.
-func transformAxisLocal(p *fft.Plan, a []complex128, dims [3]int, axis int, inverse bool) {
-	length := dims[axis]
-	if p.Len() != length {
-		panic("pfft: plan length mismatch")
-	}
-	switch axis {
-	case 0:
-		stride := dims[1] * dims[2]
-		par.Chunked(stride, lineGrain, func(lo, hi int) {
-			line := make([]complex128, length)
-			res := make([]complex128, length)
-			for c := lo; c < hi; c++ {
-				for j := 0; j < length; j++ {
-					line[j] = a[c+j*stride]
-				}
-				apply(p, line, res, inverse)
-				for j := 0; j < length; j++ {
-					a[c+j*stride] = res[j]
-				}
-			}
-		})
-	case 1:
-		stride := dims[2]
-		// One item per (i0, i2) pair, i2 fastest — matches the serial order.
-		par.Chunked(dims[0]*dims[2], lineGrain, func(lo, hi int) {
-			line := make([]complex128, length)
-			res := make([]complex128, length)
-			for c := lo; c < hi; c++ {
-				i0, i2 := c/dims[2], c%dims[2]
-				base := i0*dims[1]*dims[2] + i2
-				for j := 0; j < length; j++ {
-					line[j] = a[base+j*stride]
-				}
-				apply(p, line, res, inverse)
-				for j := 0; j < length; j++ {
-					a[base+j*stride] = res[j]
-				}
-			}
-		})
-	case 2:
-		par.Chunked(dims[0]*dims[1], lineGrain, func(lo, hi int) {
-			line := make([]complex128, length)
-			res := make([]complex128, length)
-			for i := lo; i < hi; i++ {
-				copy(line, a[i*length:(i+1)*length])
-				apply(p, line, res, inverse)
-				copy(a[i*length:(i+1)*length], res)
-			}
-		})
-	}
-}
-
-func apply(p *fft.Plan, line, res []complex128, inverse bool) {
-	if inverse {
-		p.Inverse(line, res)
-	} else {
-		p.Forward(line, res)
 	}
 }

@@ -14,8 +14,18 @@ import (
 // restriction/prolongation pair of the two-level preconditioner and the
 // grid continuation, but fully distributed (no gather).
 func TransferSpectrum(src, dst *Plan, spec []complex128) []complex128 {
+	return TransferSpectrumBatch(src, dst, [][]complex128{spec})[0]
+}
+
+// TransferSpectrumBatch routes B spectral blocks between the grids together:
+// the per-owner payload carries the B values of each transferable mode
+// consecutively plus a single index entry, so the whole batch costs one
+// complex and one int all-to-all regardless of B (the vector-field resample
+// pays the collective latency once instead of three times).
+func TransferSpectrumBatch(src, dst *Plan, specs [][]complex128) [][]complex128 {
 	c := src.Pe.Comm
 	p := c.Size()
+	B := len(specs)
 	ns := src.Pe.Grid.N
 	nd := dst.Pe.Grid.N
 	scale := complex(float64(nd[0]*nd[1]*nd[2])/float64(ns[0]*ns[1]*ns[2]), 0)
@@ -56,12 +66,12 @@ func TransferSpectrum(src, dst *Plan, spec []complex128) []complex128 {
 		// Local flat index within the owner's destination block.
 		lo2, _ := grid.Share(nd[1], dst.Pe.P[0], r1)
 		lo3, _ := grid.Share(dst.m3, dst.Pe.P[1], r2)
-		d := dst.specDim // same shape on every rank up to share sizes
-		_ = d
 		dim1 := sizeOfShare(nd[1], dst.Pe.P[0], r1)
 		dim2 := sizeOfShare(dst.m3, dst.Pe.P[1], r2)
 		local := (j1*dim1+(j2-lo2))*dim2 + (j3 - lo3)
-		sendVals[owner] = append(sendVals[owner], spec[idx]*scale)
+		for b := 0; b < B; b++ {
+			sendVals[owner] = append(sendVals[owner], specs[b][idx]*scale)
+		}
 		sendIdx[owner] = append(sendIdx[owner], local)
 	})
 
@@ -70,13 +80,18 @@ func TransferSpectrum(src, dst *Plan, spec []complex128) []complex128 {
 	recvIdx := c.AlltoallvInt(sendIdx)
 	c.SetPhase(old)
 
-	out := make([]complex128, dst.SpecLocalTotal())
+	outs := make([][]complex128, B)
+	for b := range outs {
+		outs[b] = make([]complex128, dst.SpecLocalTotal())
+	}
 	for r := 0; r < p; r++ {
 		for i, idx := range recvIdx[r] {
-			out[idx] = recvVals[r][i]
+			for b := 0; b < B; b++ {
+				outs[b][idx] = recvVals[r][B*i+b]
+			}
 		}
 	}
-	return out
+	return outs
 }
 
 func sizeOfShare(n, p, i int) int {

@@ -15,10 +15,16 @@ import (
 )
 
 // Solver fixes the time discretization: nt uniform steps over [0, 1].
+// It owns reusable scratch for the per-timestep arrays of the transport
+// sweeps, so steady-state solves stop churning the allocator; a Solver is
+// therefore owned by one rank goroutine, like the Ops it wraps.
 type Solver struct {
 	Ops *spectral.Ops
 	Pe  *grid.Pencil
 	Nt  int
+
+	stepBuf []float64 // per-component displacement step scratch
+	zeroBuf []float64 // kept-zero source placeholder; never written
 }
 
 // NewSolver returns a transport solver with nt time steps.
@@ -28,6 +34,37 @@ func NewSolver(ops *spectral.Ops, nt int) *Solver {
 
 // Dt returns the time step size.
 func (s *Solver) Dt() float64 { return 1 / float64(s.Nt) }
+
+// stepScratch returns the lazily allocated per-step scratch array; callers
+// fully overwrite it before use and never retain it across steps.
+func (s *Solver) stepScratch() []float64 {
+	if s.stepBuf == nil {
+		s.stepBuf = make([]float64, s.Pe.LocalTotal())
+	}
+	return s.stepBuf
+}
+
+// zeroField returns a shared all-zero array for the dropped source terms of
+// solenoidal velocities. It is read-only by contract.
+func (s *Solver) zeroField() []float64 {
+	if s.zeroBuf == nil {
+		s.zeroBuf = make([]float64, s.Pe.LocalTotal())
+	}
+	return s.zeroBuf
+}
+
+// trajectory allocates a full time trajectory (nt+1 local arrays) backed by
+// a single slab: one allocation instead of nt+1, and the slices stay valid
+// for as long as the caller keeps the trajectory.
+func (s *Solver) trajectory() [][]float64 {
+	n := s.Pe.LocalTotal()
+	slab := make([]float64, (s.Nt+1)*n)
+	out := make([][]float64, s.Nt+1)
+	for j := range out {
+		out[j] = slab[j*n : (j+1)*n]
+	}
+	return out
+}
 
 // Context caches everything that depends only on the velocity field: the
 // departure-point interpolation plans for the forward (+v) and adjoint
@@ -164,10 +201,9 @@ func (s *Solver) GradSlices(states [][]float64) [][3][]float64 {
 func (s *Solver) IncState(ctx *Context, gradRho [][3][]float64, vt *field.Vector) [][]float64 {
 	dt := s.Dt()
 	n := s.Pe.LocalTotal()
-	out := make([][]float64, s.Nt+1)
-	cur := make([]float64, n)
-	out[0] = cur
-	f := make([]float64, n) // f(x, t_j) = -v~ . grad rho(t_j)
+	out := s.trajectory()
+	cur := out[0] // zero initial condition (the slab is zeroed)
+	f := s.stepScratch() // f(x, t_j) = -v~ . grad rho(t_j)
 	for j := 0; j < s.Nt; j++ {
 		for i := 0; i < n; i++ {
 			f[i] = -(vt.C[0].Data[i]*gradRho[j][0][i] +
@@ -176,7 +212,7 @@ func (s *Solver) IncState(ctx *Context, gradRho [][3][]float64, vt *field.Vector
 		}
 		vals := ctx.Fwd.InterpMany(cur, f)
 		nu0X, f0X := vals[0], vals[1]
-		next := make([]float64, n)
+		next := out[j+1]
 		for i := 0; i < n; i++ {
 			// f at the arrival point and new time level, using the stored
 			// grad rho(t_{j+1}); the source does not depend on rho~ itself,
@@ -187,7 +223,6 @@ func (s *Solver) IncState(ctx *Context, gradRho [][3][]float64, vt *field.Vector
 			next[i] = nu0X[i] + 0.5*dt*(f0X[i]+fStar)
 		}
 		cur = next
-		out[j+1] = cur
 	}
 	return out
 }
@@ -209,23 +244,25 @@ func (s *Solver) IncAdjointGN(ctx *Context, term *field.Scalar) [][]float64 {
 func (s *Solver) IncAdjointNewton(ctx *Context, lambdas [][]float64, vt *field.Vector, term *field.Scalar) [][]float64 {
 	dt := s.Dt()
 	n := s.Pe.LocalTotal()
-	out := make([][]float64, s.Nt+1)
-	cur := make([]float64, n)
+	out := s.trajectory()
+	cur := out[s.Nt]
 	copy(cur, term.Data)
-	out[s.Nt] = cur
 
-	// Precompute the grid sources g_j = div(lambda(t_j) v~).
-	srcs := make([][]float64, s.Nt+1)
+	// Precompute the grid sources g_j = div(lambda(t_j) v~): one slab for
+	// the whole history, with Div writing each slice in place.
+	srcs := s.trajectory()
 	work := field.NewVector(s.Pe)
+	div := field.Scalar{P: s.Pe}
 	for j := 0; j <= s.Nt; j++ {
 		for d := 0; d < 3; d++ {
 			for i := 0; i < n; i++ {
 				work.C[d].Data[i] = lambdas[j][i] * vt.C[d].Data[i]
 			}
 		}
-		srcs[j] = s.Ops.Div(work).Data
+		div.Data = srcs[j]
+		s.Ops.DivInto(work, &div)
 	}
-	zero := make([]float64, n)
+	zero := s.zeroField()
 	divv := zero
 	divvX := zero
 	if !ctx.Solenoidal {
@@ -237,7 +274,7 @@ func (s *Solver) IncAdjointNewton(ctx *Context, lambdas [][]float64, vt *field.V
 	for j := s.Nt - 1; j >= 0; j-- {
 		vals := ctx.Adj.InterpMany(cur, srcs[j+1])
 		nu0X, g0X := vals[0], vals[1]
-		next := make([]float64, n)
+		next := out[j]
 		for i := 0; i < n; i++ {
 			f0 := nu0X[i]*divvX[i] + g0X[i]
 			nuStar := nu0X[i] + dt*f0
@@ -245,7 +282,6 @@ func (s *Solver) IncAdjointNewton(ctx *Context, lambdas [][]float64, vt *field.V
 			next[i] = nu0X[i] + 0.5*dt*(f0+fStar)
 		}
 		cur = next
-		out[j] = cur
 	}
 	return out
 }
@@ -257,10 +293,10 @@ func (s *Solver) Displacement(ctx *Context) *field.Vector {
 	dt := s.Dt()
 	n := s.Pe.LocalTotal()
 	u := field.NewVector(s.Pe)
+	uNew := s.stepScratch()
 	for step := 0; step < s.Nt; step++ {
 		vals := ctx.Fwd.InterpMany(u.C[0].Data, u.C[1].Data, u.C[2].Data)
 		for d := 0; d < 3; d++ {
-			uNew := make([]float64, n)
 			for i := 0; i < n; i++ {
 				// Source f = -v: f0 at the departure point, f* on the grid.
 				uNew[i] = vals[d][i] - 0.5*dt*(ctx.VFwdX[d][i]+ctx.V.C[d].Data[i])
@@ -376,10 +412,10 @@ func (s *Solver) InverseDisplacement(ctx *Context) *field.Vector {
 	// points; v at those points is needed for the source.
 	vAdjX := ctx.Adj.InterpMany(ctx.V.C[0].Data, ctx.V.C[1].Data, ctx.V.C[2].Data)
 	u := field.NewVector(s.Pe)
+	uNew := s.stepScratch()
 	for step := 0; step < s.Nt; step++ {
 		vals := ctx.Adj.InterpMany(u.C[0].Data, u.C[1].Data, u.C[2].Data)
 		for d := 0; d < 3; d++ {
-			uNew := make([]float64, n)
 			for i := 0; i < n; i++ {
 				uNew[i] = vals[d][i] + 0.5*dt*(vAdjX[d][i]+ctx.V.C[d].Data[i])
 			}
