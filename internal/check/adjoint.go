@@ -1,0 +1,206 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"diffreg/internal/field"
+	"diffreg/internal/interp"
+	"diffreg/internal/semilag"
+)
+
+// runAdjoint fuzzes the adjoint identities <Au, w> = <u, A*w> of every
+// differential operator the optimality system composes, plus the
+// interpolation gather/scatter pair. These identities are what make the
+// reduced gradient the true adjoint-state gradient: a broken adjoint
+// produces a plausible-looking but wrong descent direction that only the
+// Taylor tests downstream would catch indirectly.
+func (e *env) runAdjoint() {
+	rng := rand.New(rand.NewSource(e.opt.Seed))
+	ops := e.ops
+	trials := e.opt.trials()
+	detail := fmt.Sprintf("%d trials", trials)
+
+	// The defect |<Au,w> - <u,A*w>| is normalized at operator level,
+	// by ||Au|| ||w|| + ||u|| ||A*w||: two random band-limited fields can be
+	// near-orthogonal under A (sparse mode overlap), which makes a plain
+	// relative difference of the two inner products meaningless.
+	var gradDiv, lap, vecLap, biharm, leraySym, lerayIdem, invBih, roundtrip, divGradLap float64
+	for t := 0; t < trials; t++ {
+		s := randScalar(e.pe, rng)
+		s2 := randScalar(e.pe, rng)
+		w := randVector(e.pe, rng)
+		w2 := randVector(e.pe, rng)
+
+		// Gradient and divergence are negative adjoints: <grad s, w> = -<s, div w>.
+		gs, dw := ops.Grad(s), ops.Div(w)
+		gradDiv = math.Max(gradDiv, math.Abs(gs.Dot(w)+s.Dot(dw))/
+			(gs.NormL2()*w.NormL2()+s.NormL2()*dw.NormL2()))
+		// The Laplacian and biharmonic operators are self-adjoint.
+		ls, ls2 := ops.Lap(s), ops.Lap(s2)
+		lap = math.Max(lap, math.Abs(ls.Dot(s2)-s.Dot(ls2))/
+			(ls.NormL2()*s2.NormL2()+s.NormL2()*ls2.NormL2()))
+		lw, lw2 := ops.VecLap(w), ops.VecLap(w2)
+		vecLap = math.Max(vecLap, math.Abs(lw.Dot(w2)-w.Dot(lw2))/
+			(lw.NormL2()*w2.NormL2()+w.NormL2()*lw2.NormL2()))
+		bw, bw2 := ops.Biharm(w), ops.Biharm(w2)
+		biharm = math.Max(biharm, math.Abs(bw.Dot(w2)-w.Dot(bw2))/
+			(bw.NormL2()*w2.NormL2()+w.NormL2()*bw2.NormL2()))
+		// The Leray projection is an orthogonal projector: self-adjoint and
+		// idempotent.
+		pw, pw2 := ops.Leray(w), ops.Leray(w2)
+		leraySym = math.Max(leraySym, math.Abs(pw.Dot(w2)-w.Dot(pw2))/
+			(pw.NormL2()*w2.NormL2()+w.NormL2()*pw2.NormL2()))
+		ppw := ops.Leray(pw)
+		ppw.Axpy(-1, pw)
+		lerayIdem = math.Max(lerayIdem, ppw.NormL2()/pw.NormL2())
+		// The preconditioner is self-adjoint and inverts the biharmonic
+		// operator on zero-mean fields.
+		iw, iw2 := ops.InvBiharm(w), ops.InvBiharm(w2)
+		invBih = math.Max(invBih, math.Abs(iw.Dot(w2)-w.Dot(iw2))/
+			(iw.NormL2()*w2.NormL2()+w.NormL2()*iw2.NormL2()))
+		w0 := zeroMean(w)
+		rt := ops.Biharm(ops.InvBiharm(w0))
+		rt.Axpy(-1, w0)
+		roundtrip = math.Max(roundtrip, rt.NormL2()/w0.NormL2())
+		// div(grad s) agrees with the Laplacian on Nyquist-free fields (the
+		// first-derivative operators drop the Nyquist mode, the Laplacian
+		// keeps it; the fuzz fields are band-limited below Nyquist).
+		dg := ops.Div(ops.Grad(s))
+		dg.Axpy(-1, ops.Lap(s))
+		divGradLap = math.Max(divGradLap, dg.NormL2()/ops.Lap(s).NormL2())
+	}
+	e.add("adjoint", "grad_div_negative", gradDiv, 1e-12, ModeMax, detail)
+	e.add("adjoint", "lap_self", lap, 1e-12, ModeMax, detail)
+	e.add("adjoint", "veclap_self", vecLap, 1e-12, ModeMax, detail)
+	e.add("adjoint", "biharm_self", biharm, 1e-12, ModeMax, detail)
+	e.add("adjoint", "leray_self", leraySym, 1e-12, ModeMax, detail)
+	e.add("adjoint", "leray_idempotent", lerayIdem, 1e-12, ModeMax, detail)
+	e.add("adjoint", "invbiharm_self", invBih, 1e-12, ModeMax, detail)
+	e.add("adjoint", "biharm_roundtrip", roundtrip, 1e-11, ModeMax, "zero-mean fields")
+	e.add("adjoint", "div_grad_vs_lap", divGradLap, 1e-12, ModeMax, "Nyquist-free fields")
+
+	e.interpAdjoint(rng)
+	e.interpDistributed(rng)
+}
+
+// zeroMean removes the componentwise mean (the kernel of the biharmonic
+// operator) from a vector field.
+func zeroMean(w *field.Vector) *field.Vector {
+	out := w.Clone()
+	for d := 0; d < 3; d++ {
+		m := out.C[d].Mean()
+		data := out.C[d].Data
+		for i := range data {
+			data[i] -= m
+		}
+	}
+	return out
+}
+
+// interpAdjoint verifies that the explicit transpose-scatter of the
+// tricubic gather satisfies <Af, w>_pts = <f, A*w>_grid exactly: A gathers
+// grid values to off-grid points with the Lagrange weights, A* scatters
+// point values back with the same weights. Every rank evaluates the
+// identical global problem (the draws are seeded), so a p-dependence would
+// indicate nondeterminism, not roundoff.
+func (e *env) interpAdjoint(rng *rand.Rand) {
+	n := e.pe.Grid.N
+	tot := n[0] * n[1] * n[2]
+	npts := 200
+	if e.opt.Quick {
+		npts = 100
+	}
+	worst := 0.0
+	for t := 0; t < e.opt.trials(); t++ {
+		f := make([]float64, tot)
+		for i := range f {
+			f[i] = rng.Float64()*2 - 1
+		}
+		lhs, rhs, denom := 0.0, 0.0, 0.0
+		scat := make([]float64, tot)
+		for j := 0; j < npts; j++ {
+			x := [3]float64{
+				rng.Float64() * float64(n[0]),
+				rng.Float64() * float64(n[1]),
+				rng.Float64() * float64(n[2]),
+			}
+			wj := rng.Float64()*2 - 1
+			av := interp.EvalPeriodic(f, n, x)
+			lhs += wj * av
+			denom += math.Abs(wj * av)
+			scatterPeriodic(scat, n, x, wj)
+		}
+		for i := range f {
+			rhs += f[i] * scat[i]
+		}
+		worst = math.Max(worst, math.Abs(lhs-rhs)/denom)
+	}
+	e.add("adjoint", "interp_gather_scatter", worst, 1e-12, ModeMax,
+		fmt.Sprintf("%d pts x %d trials", npts, e.opt.trials()))
+}
+
+// scatterPeriodic accumulates w times the tricubic stencil weights of the
+// point x onto the grid — the exact transpose of interp.EvalPeriodic.
+func scatterPeriodic(g []float64, n [3]int, x [3]float64, w float64) {
+	i1, t1 := interp.SplitIndex(x[0], n[0])
+	i2, t2 := interp.SplitIndex(x[1], n[1])
+	i3, t3 := interp.SplitIndex(x[2], n[2])
+	w1 := interp.Weights(t1)
+	w2 := interp.Weights(t2)
+	w3 := interp.Weights(t3)
+	var idx1, idx2, idx3 [4]int
+	for a := 0; a < 4; a++ {
+		idx1[a] = wrapIdx(i1+a-1, n[0])
+		idx2[a] = wrapIdx(i2+a-1, n[1])
+		idx3[a] = wrapIdx(i3+a-1, n[2])
+	}
+	for a := 0; a < 4; a++ {
+		base1 := idx1[a] * n[1]
+		for b := 0; b < 4; b++ {
+			base2 := (base1 + idx2[b]) * n[2]
+			wab := w * w1[a] * w2[b]
+			for c := 0; c < 4; c++ {
+				g[base2+idx3[c]] += wab * w3[c]
+			}
+		}
+	}
+}
+
+func wrapIdx(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}
+
+// interpDistributed ties the distributed ghost-padded interpolation plan to
+// the serial reference evaluator on the same global field and the same
+// departure points: with the gather/scatter adjointness proven serially,
+// bitwise agreement here extends it to the distributed operator.
+func (e *env) interpDistributed(rng *rand.Rand) {
+	pe := e.pe
+	n := pe.Grid.N
+	global := make([]float64, n[0]*n[1]*n[2])
+	for i := range global {
+		global[i] = rng.Float64()*2 - 1
+	}
+	local := field.NewScalar(pe)
+	pe.EachLocal(func(i1, i2, i3, idx int) {
+		j := ((pe.Lo[0]+i1)*n[1]+(pe.Lo[1]+i2))*n[2] + pe.Lo[2] + i3
+		local.Data[idx] = global[j]
+	})
+	v := randVector(pe, rng)
+	pts := semilag.Departure(pe, v, 0.25)
+	plan := semilag.NewPlan(pe, pts)
+	got := plan.Interp(local.Data)
+	maxd := 0.0
+	for i := range got {
+		want := interp.EvalPeriodic(global, n, [3]float64{pts[0][i], pts[1][i], pts[2][i]})
+		maxd = math.Max(maxd, math.Abs(got[i]-want))
+	}
+	maxd = pe.Comm.AllreduceMax(maxd)
+	e.add("adjoint", "interp_dist_vs_serial", maxd, 1e-12, ModeMax, "RK2 departure points")
+}

@@ -1,0 +1,122 @@
+// Package check is the numerical-correctness harness of the repo: it
+// verifies, on the actual distributed solver stack, that the discrete
+// reduced gradient is the derivative of the discrete objective, that the
+// Gauss-Newton matvec is symmetric and consistent with finite differences
+// of the gradient, that the spectral and interpolation operators satisfy
+// their adjoint identities, and that the transport and projection
+// invariants (constant preservation, mass conservation, div-free iterates,
+// unit Jacobian determinant) hold. This is the self-validation layer that
+// CLAIRE (the paper's successor) ships as derivative checks: PR 1/3 proved
+// bit-identity across parallelism; this package proves the numerics being
+// reproduced are the right ones. Every property is checked at each
+// requested rank count, so a decomposition-dependent defect (ghost
+// exchange, transpose layout, reduction order) shows up as a p=4 failure
+// with a p=1 pass.
+package check
+
+import (
+	"fmt"
+
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/pfft"
+	"diffreg/internal/spectral"
+)
+
+// Options selects the harness resolution and scope.
+type Options struct {
+	N     int   // grid size (N^3 global)
+	Nt    int   // transport time steps
+	Ranks []int // simulated MPI sizes to exercise
+	Seed  int64 // fuzz seed (deterministic across ranks)
+	Quick bool  // reduced trials and looser discretization gates
+	Log   func(format string, args ...any)
+}
+
+// DefaultOptions is the full harness: 24^3 (large enough that the
+// calibrated discretization floors sit well under the gates) at p=1 and
+// p=4.
+func DefaultOptions() Options {
+	return Options{N: 24, Nt: 4, Ranks: []int{1, 4}, Seed: 7}
+}
+
+// QuickOptions is the CI-friendly reduced harness (16^3, fewer fuzz
+// trials, discretization gates widened for the coarser grid).
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.N = 16
+	o.Quick = true
+	return o
+}
+
+// trials returns the fuzz repetition count.
+func (o *Options) trials() int {
+	if o.Quick {
+		return 2
+	}
+	return 3
+}
+
+// disc returns the discretization-level gate: full at 24^3 holds the
+// measured floors (~2e-3) against 1e-2; quick doubles it for 16^3.
+func (o *Options) disc(full float64) float64 {
+	if o.Quick {
+		return 2 * full
+	}
+	return full
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// env is the per-rank-count execution context of one harness pass.
+type env struct {
+	opt *Options
+	c   *mpi.Comm
+	pe  *grid.Pencil
+	ops *spectral.Ops
+	rep *Report
+}
+
+// add registers a finding. Every rank computes identical values (the
+// reductions are deterministic), so only rank 0 appends.
+func (e *env) add(group, name string, measured, limit float64, mode, detail string) {
+	if e.c.Rank() != 0 {
+		return
+	}
+	e.rep.add(Finding{
+		Group: group, Name: name, Ranks: e.c.Size(),
+		Measured: measured, Limit: limit, Mode: mode, Detail: detail,
+	})
+	e.opt.logf("p=%d %s/%s: %.4e (%s %.1e)", e.c.Size(), group, name, measured, mode, limit)
+}
+
+// Run executes the full harness and returns the report.
+func Run(opt Options) (*Report, error) {
+	g, err := grid.New(opt.N, opt.N, opt.N)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{N: opt.N, Nt: opt.Nt, Quick: opt.Quick, Ranks: opt.Ranks}
+	for _, p := range opt.Ranks {
+		opt.logf("=== ranks=%d ===", p)
+		_, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			e := &env{opt: &opt, c: c, pe: pe, ops: spectral.New(pfft.NewPlan(pe)), rep: rep}
+			e.runAdjoint()
+			e.runInvariants()
+			e.runTaylor()
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("check: ranks=%d: %w", p, err)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,83 @@
+package check
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestQuickSuite runs the full harness in its quick configuration at p=1
+// and p=4 — the same gates CI enforces through cmd/regcheck. Every finding
+// is reported individually so a regression names the broken property.
+func TestQuickSuite(t *testing.T) {
+	opt := QuickOptions()
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings produced")
+	}
+	for _, f := range rep.Findings {
+		if !f.Pass {
+			t.Errorf("p=%d %s/%s: measured %.4e vs limit (%s) %.4e — %s",
+				f.Ranks, f.Group, f.Name, f.Measured, f.Mode, f.Limit, f.Detail)
+		}
+	}
+	if t.Failed() {
+		t.Log("\n" + rep.Summary())
+	}
+}
+
+// TestFindingsMatchAcrossRanks pins decomposition independence of the
+// harness itself: every property measured at p=1 must be measured at p=4
+// too, under the same name and gate.
+func TestFindingsMatchAcrossRanks(t *testing.T) {
+	opt := QuickOptions()
+	rep, err := Run(opt)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	byRanks := map[int][]string{}
+	for _, f := range rep.Findings {
+		byRanks[f.Ranks] = append(byRanks[f.Ranks], f.Group+"/"+f.Name)
+	}
+	if len(byRanks) != len(opt.Ranks) {
+		t.Fatalf("rank counts covered: %d, want %d", len(byRanks), len(opt.Ranks))
+	}
+	names := byRanks[opt.Ranks[0]]
+	for _, p := range opt.Ranks[1:] {
+		got := byRanks[p]
+		if len(got) != len(names) {
+			t.Fatalf("p=%d produced %d findings, p=%d produced %d",
+				p, len(got), opt.Ranks[0], len(names))
+		}
+		for i := range names {
+			if got[i] != names[i] {
+				t.Errorf("finding %d: p=%d has %s, p=%d has %s", i, p, got[i], opt.Ranks[0], names[i])
+			}
+		}
+	}
+}
+
+// TestReportJSONShape verifies the machine-readable report round-trips and
+// carries the verdict fields CI gates on.
+func TestReportJSONShape(t *testing.T) {
+	rep := &Report{N: 16, Nt: 4, Ranks: []int{1}}
+	rep.add(Finding{Group: "adjoint", Name: "ok", Ranks: 1, Measured: 1e-15, Limit: 1e-12, Mode: ModeMax})
+	rep.add(Finding{Group: "taylor", Name: "order", Ranks: 1, Measured: 2.0, Limit: 1.9, Mode: ModeMin})
+	rep.add(Finding{Group: "taylor", Name: "bad", Ranks: 1, Measured: 1.0, Limit: 1.9, Mode: ModeMin})
+	if rep.Passed != 2 || rep.Failed != 1 || rep.OK() {
+		t.Fatalf("verdict accounting: passed=%d failed=%d", rep.Passed, rep.Failed)
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Findings) != 3 || back.Findings[0].Pass != true || back.Findings[2].Pass != false {
+		t.Fatalf("roundtrip lost verdicts: %+v", back.Findings)
+	}
+}

@@ -1,0 +1,78 @@
+package check
+
+import (
+	"math"
+	"math/rand"
+
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+)
+
+// The fuzz fields are random band-limited trigonometric polynomials: a
+// fixed number of modes with |k_d| <= kmax and random amplitudes/phases.
+// The coefficients are drawn from a seeded generator that every rank
+// advances identically, and the field is evaluated pointwise from global
+// coordinates, so the same field is produced for every decomposition —
+// adjointness measured at p=1 and p=4 tests the same operator on the same
+// data.
+const (
+	randTerms = 8
+	randKmax  = 2
+)
+
+type trigTerm struct {
+	a          float64
+	k1, k2, k3 float64
+	phase      float64
+}
+
+func drawTerms(rng *rand.Rand) []trigTerm {
+	terms := make([]trigTerm, randTerms)
+	for i := range terms {
+		terms[i] = trigTerm{
+			a:     rng.Float64()*2 - 1,
+			k1:    float64(rng.Intn(2*randKmax+1) - randKmax),
+			k2:    float64(rng.Intn(2*randKmax+1) - randKmax),
+			k3:    float64(rng.Intn(2*randKmax+1) - randKmax),
+			phase: rng.Float64() * 2 * math.Pi,
+		}
+	}
+	return terms
+}
+
+func evalTerms(terms []trigTerm, x1, x2, x3 float64) float64 {
+	s := 0.0
+	for _, t := range terms {
+		s += t.a * math.Cos(t.k1*x1+t.k2*x2+t.k3*x3+t.phase)
+	}
+	return s
+}
+
+// randScalar draws a random band-limited scalar field.
+func randScalar(pe *grid.Pencil, rng *rand.Rand) *field.Scalar {
+	terms := drawTerms(rng)
+	s := field.NewScalar(pe)
+	s.SetFunc(func(x1, x2, x3 float64) float64 { return evalTerms(terms, x1, x2, x3) })
+	return s
+}
+
+// randVector draws a random band-limited vector field.
+func randVector(pe *grid.Pencil, rng *rand.Rand) *field.Vector {
+	t1, t2, t3 := drawTerms(rng), drawTerms(rng), drawTerms(rng)
+	v := field.NewVector(pe)
+	v.SetFunc(func(x1, x2, x3 float64) (float64, float64, float64) {
+		return evalTerms(t1, x1, x2, x3), evalTerms(t2, x1, x2, x3), evalTerms(t3, x1, x2, x3)
+	})
+	return v
+}
+
+// relDiff is the symmetric relative difference of two scalars, guarded
+// against both vanishing.
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	s := math.Abs(a) + math.Abs(b)
+	if s < 1e-300 {
+		return 0
+	}
+	return d / s
+}

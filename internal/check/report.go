@@ -1,0 +1,85 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Mode states how a finding's measured value relates to its limit.
+const (
+	// ModeMax passes when Measured <= Limit (error bounds).
+	ModeMax = "max"
+	// ModeMin passes when Measured >= Limit (convergence orders).
+	ModeMin = "min"
+)
+
+// Finding is one verified numerical property: a measured quantity, the
+// acceptance limit it is held against, and the verdict.
+type Finding struct {
+	Group    string  `json:"group"` // taylor | adjoint | invariant
+	Name     string  `json:"name"`
+	Ranks    int     `json:"ranks"`
+	Measured float64 `json:"measured"`
+	Limit    float64 `json:"limit"`
+	Mode     string  `json:"mode"`
+	Pass     bool    `json:"pass"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// Report aggregates the findings of one harness run, in a shape that is
+// stable for machines (JSON, gated in CI) and readable for humans
+// (Summary).
+type Report struct {
+	N        int       `json:"n"`     // grid size (N^3)
+	Nt       int       `json:"nt"`    // transport time steps
+	Quick    bool      `json:"quick"` // reduced grid + trial counts
+	Ranks    []int     `json:"ranks"` // process counts exercised
+	Findings []Finding `json:"findings"`
+	Passed   int       `json:"passed"`
+	Failed   int       `json:"failed"`
+}
+
+func (r *Report) add(f Finding) {
+	switch f.Mode {
+	case ModeMin:
+		f.Pass = f.Measured >= f.Limit
+	default:
+		f.Pass = f.Measured <= f.Limit
+	}
+	if f.Pass {
+		r.Passed++
+	} else {
+		r.Failed++
+	}
+	r.Findings = append(r.Findings, f)
+}
+
+// OK reports whether every finding passed.
+func (r *Report) OK() bool { return r.Failed == 0 }
+
+// JSON renders the machine-readable report.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// Summary renders a human-readable table of the findings.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "numerical self-check: N=%d nt=%d ranks=%v quick=%v\n", r.N, r.Nt, r.Ranks, r.Quick)
+	for _, f := range r.Findings {
+		verdict := "PASS"
+		if !f.Pass {
+			verdict = "FAIL"
+		}
+		rel := "<="
+		if f.Mode == ModeMin {
+			rel = ">="
+		}
+		fmt.Fprintf(&b, "  [%s] %-9s p=%d %-28s %11.4e %s %.1e", verdict, f.Group, f.Ranks, f.Name, f.Measured, rel, f.Limit)
+		if f.Detail != "" {
+			fmt.Fprintf(&b, "  (%s)", f.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "passed %d, failed %d\n", r.Passed, r.Failed)
+	return b.String()
+}

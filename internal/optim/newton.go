@@ -2,6 +2,23 @@ package optim
 
 import "math"
 
+// Forcing selects the Eisenstat-Walker forcing sequence that sets the
+// Krylov tolerance of each inexact Newton step.
+type Forcing int
+
+const (
+	// ForcingQuadratic is the paper's choice (§II-C): eta_k =
+	// min(cap, sqrt(||g_k||/||g_0||)), which yields superlinear local
+	// convergence while keeping early Krylov solves loose. It is the zero
+	// value and the default.
+	ForcingQuadratic Forcing = iota
+	// ForcingLinear tightens the tolerance proportionally to the gradient
+	// decay, eta_k = min(cap, ||g_k||/||g_0||). It over-solves early
+	// systems (more Hessian matvecs for the same outer trajectory) and is
+	// kept for the convergence-history regression tests.
+	ForcingLinear
+)
+
 // NewtonOptions controls the inexact (Gauss-)Newton-Krylov driver. The
 // defaults mirror the paper's setup: relative gradient tolerance 1e-2,
 // at most 50 outer iterations, quadratic forcing capped at 0.5.
@@ -11,9 +28,19 @@ type NewtonOptions struct {
 	MaxIters      int     // maximum Newton iterations
 	MaxKrylov     int     // maximum PCG iterations per Newton step
 	ForcingCap    float64 // upper bound for the forcing term
+	Forcing       Forcing // forcing sequence (default quadratic)
 	MaxLineSearch int     // maximum Armijo halvings
 	ArmijoC1      float64 // sufficient decrease constant
 	Log           func(format string, args ...any)
+}
+
+// forcingEta evaluates the selected Eisenstat-Walker sequence.
+func (o *NewtonOptions) forcingEta(gnorm, gnorm0 float64) float64 {
+	r := gnorm / gnorm0
+	if o.Forcing == ForcingQuadratic {
+		r = math.Sqrt(r)
+	}
+	return math.Min(o.ForcingCap, r)
 }
 
 // DefaultNewtonOptions returns the paper's solver parameters (§IV-A3).
@@ -89,9 +116,9 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 			break
 		}
 
-		// Quadratic Eisenstat-Walker forcing (inexact Newton): the Krylov
-		// tolerance tightens as the gradient decays.
-		eta := math.Min(opt.ForcingCap, e.Gnorm/res.GnormInit)
+		// Eisenstat-Walker forcing (inexact Newton): the Krylov tolerance
+		// tightens as the gradient decays.
+		eta := opt.forcingEta(e.Gnorm, res.GnormInit)
 
 		rhs := e.G.Clone()
 		rhs.Scale(-1)
@@ -103,8 +130,21 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 			dir = p.ApplyPrec(rhs)
 			slope = e.G.Dot(dir)
 		}
+		if slope >= 0 {
+			// The preconditioned gradient is itself not a descent direction
+			// (an indefinite two-level or shifted preconditioner state): use
+			// plain steepest descent, whose slope -||g||^2 is negative for
+			// any nonzero gradient.
+			dir = rhs.Clone()
+			slope = e.G.Dot(dir)
+		}
+		if slope >= 0 {
+			// Only possible when g = 0, which the convergence test already
+			// intercepts; bail out rather than backtrack on a flat model.
+			break
+		}
 
-		alpha, trials := armijo(p, v, dir, e.J, slope, opt)
+		alpha, trials, cand := armijo(p, v, dir, e.J, slope, opt)
 		rec := IterRecord{
 			Iter: iter, J: e.J, Misfit: e.Misfit, Gnorm: e.Gnorm,
 			Forcing: eta, CGIters: cg.Iters, Step: alpha, LineTrial: trials,
@@ -116,26 +156,34 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 			// Line search failed: no further progress possible.
 			break
 		}
-		v = v.Clone()
-		v.Axpy(alpha, dir)
+		// Adopt the accepted candidate object itself (not a recomputed
+		// copy): the objective may have cached the candidate's transport
+		// solve, and the next EvalGradient recognizes it by identity.
+		v = cand
 	}
 	return res
 }
 
 // armijo backtracks from a full step until the sufficient decrease
-// condition J(v + a d) <= J(v) + c1 a <g, d> holds. Returns the accepted
-// step (0 on failure) and the number of trials.
-func armijo[T Vec[T]](p Objective[T], v, dir T, j0, slope float64, opt NewtonOptions) (float64, int) {
+// condition J(v + a d) <= J(v) + c1 a <g, d> holds. Every trial is
+// projected onto the feasible space before evaluation, so accepted
+// iterates cannot drift off the divergence-free subspace through
+// accumulated axpy rounding (for unconstrained problems Project is the
+// identity). Returns the accepted step (0 on failure), the number of
+// trials, and the accepted candidate (the zero value on failure).
+func armijo[T Vec[T]](p Objective[T], v, dir T, j0, slope float64, opt NewtonOptions) (float64, int, T) {
 	alpha := 1.0
 	for trial := 1; trial <= opt.MaxLineSearch; trial++ {
 		cand := v.Clone()
 		cand.Axpy(alpha, dir)
+		cand = p.Project(cand)
 		if p.Evaluate(cand).J <= j0+opt.ArmijoC1*alpha*slope {
-			return alpha, trial
+			return alpha, trial, cand
 		}
 		alpha /= 2
 	}
-	return 0, opt.MaxLineSearch
+	var none T
+	return 0, opt.MaxLineSearch, none
 }
 
 // SteepestDescent is the first-order baseline the paper contrasts against
@@ -162,7 +210,16 @@ func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[
 		dir := p.ApplyPrec(e.G)
 		dir.Scale(-1)
 		slope := e.G.Dot(dir)
-		alpha, trials := armijo(p, v, dir, e.J, slope, opt)
+		if slope >= 0 {
+			// Indefinite preconditioner state: fall back to -g.
+			dir = e.G.Clone()
+			dir.Scale(-1)
+			slope = e.G.Dot(dir)
+			if slope >= 0 {
+				break
+			}
+		}
+		alpha, trials, cand := armijo(p, v, dir, e.J, slope, opt)
 		res.History = append(res.History, IterRecord{
 			Iter: iter, J: e.J, Misfit: e.Misfit, Gnorm: e.Gnorm, Step: alpha, LineTrial: trials,
 		})
@@ -170,8 +227,7 @@ func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[
 		if alpha == 0 {
 			break
 		}
-		v = v.Clone()
-		v.Axpy(alpha, dir)
+		v = cand
 	}
 	return res
 }

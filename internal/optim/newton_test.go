@@ -1,0 +1,173 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+// dvec is a small dense vector for adversarial unit tests of the driver
+// logic, where spinning up the distributed stack would obscure the point.
+type dvec []float64
+
+func (v dvec) Clone() dvec {
+	out := make(dvec, len(v))
+	copy(out, v)
+	return out
+}
+
+func (v dvec) Axpy(a float64, x dvec) {
+	for i := range v {
+		v[i] += a * x[i]
+	}
+}
+
+func (v dvec) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+func (v dvec) Dot(x dvec) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * x[i]
+	}
+	return s
+}
+
+func (v dvec) NormL2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// adversarial is a benign convex quadratic J(v) = 1/2 <v, Av> - <b, v>
+// (diagonal SPD A) reported through hostile operator callbacks: the
+// Hessian matvec claims negative curvature and the preconditioner flips
+// signs. The PCG direction is then unusable and the preconditioned
+// gradient "fallback" -M g = +g is an ASCENT direction — exactly the
+// state the slope guard must catch by falling back to -g.
+type adversarial struct {
+	a, b  dvec
+	evals int
+}
+
+func (p *adversarial) vals(v dvec) ObjVals {
+	j := 0.0
+	for i := range v {
+		j += 0.5*p.a[i]*v[i]*v[i] - p.b[i]*v[i]
+	}
+	return ObjVals{J: j, Misfit: j}
+}
+
+func (p *adversarial) Evaluate(v dvec) ObjVals {
+	p.evals++
+	return p.vals(v)
+}
+
+func (p *adversarial) EvalGradient(v dvec) GradVals[dvec] {
+	g := make(dvec, len(v))
+	for i := range v {
+		g[i] = p.a[i]*v[i] - p.b[i]
+	}
+	o := p.vals(v)
+	return GradVals[dvec]{J: o.J, Misfit: o.Misfit, G: g, Gnorm: g.NormL2()}
+}
+
+// HessMatVec lies: it returns -w, so the very first PCG step sees negative
+// curvature and bails out with no iterations.
+func (p *adversarial) HessMatVec(w dvec) dvec {
+	out := w.Clone()
+	out.Scale(-1)
+	return out
+}
+
+// ApplyPrec is sign-flipping (indefinite): the "preconditioned gradient"
+// fallback direction -M g points uphill.
+func (p *adversarial) ApplyPrec(r dvec) dvec {
+	out := r.Clone()
+	out.Scale(-1)
+	return out
+}
+
+func (p *adversarial) Project(v dvec) dvec { return v }
+
+// TestGaussNewtonSurvivesNonDescentDirections pins the Armijo guard: with
+// an indefinite Hessian *and* an indefinite preconditioner the driver must
+// detect that both candidate directions point uphill, fall back to plain
+// steepest descent, and still make monotone progress on the objective.
+// Before the guard, the backtracking line search burned MaxLineSearch
+// evaluations on an ascent direction and the solver stalled at the initial
+// point.
+func TestGaussNewtonSurvivesNonDescentDirections(t *testing.T) {
+	// Curvatures in (0, 2) keep the full -g step inside the Armijo cone, so
+	// the fallback converges geometrically and the assertions stay sharp.
+	p := &adversarial{a: dvec{1.5, 1, 0.5}, b: dvec{1, -2, 0.5}}
+	v0 := dvec{3, -3, 2}
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 60
+	opt.GradTol = 1e-8
+	res := GaussNewton[dvec](p, v0, opt)
+	if res.JFinal >= res.JInit {
+		t.Fatalf("no progress: J %g -> %g", res.JInit, res.JFinal)
+	}
+	for i, rec := range res.History {
+		if rec.Step <= 0 {
+			t.Errorf("iteration %d: line search failed (step %g) despite the -g fallback", i, rec.Step)
+		}
+	}
+	if !res.Converged {
+		t.Errorf("steepest-descent fallback should still converge on a diagonal quadratic: ||g|| %g -> %g",
+			res.GnormInit, res.GnormLast)
+	}
+	// The accepted iterate of each line search is evaluated once and then
+	// reused by identity; the minimum is interior so x* solves a_i x = b_i.
+	for i := range res.V {
+		want := p.b[i] / p.a[i]
+		if math.Abs(res.V[i]-want) > 1e-6 {
+			t.Errorf("component %d: got %g want %g", i, res.V[i], want)
+		}
+	}
+}
+
+// TestSteepestDescentSurvivesIndefinitePreconditioner covers the same
+// guard on the first-order path.
+func TestSteepestDescentSurvivesIndefinitePreconditioner(t *testing.T) {
+	p := &adversarial{a: dvec{1.25, 0.8}, b: dvec{1, 1}}
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 200
+	res := SteepestDescent[dvec](p, dvec{5, -5}, opt)
+	if res.JFinal >= res.JInit {
+		t.Fatalf("no progress: J %g -> %g", res.JInit, res.JFinal)
+	}
+	if !res.Converged {
+		t.Errorf("not converged: ||g|| %g -> %g after %d iters", res.GnormInit, res.GnormLast, res.Iters)
+	}
+}
+
+// TestForcingSequences pins the Eisenstat-Walker formulas: the paper's
+// quadratic forcing is min(cap, sqrt(||g||/||g0||)); the legacy linear
+// variant is min(cap, ||g||/||g0||). The sqrt keeps early Krylov solves
+// loose — for any gradient ratio r < cap^2 the quadratic tolerance is
+// strictly larger, which is what saves Hessian matvecs.
+func TestForcingSequences(t *testing.T) {
+	opt := DefaultNewtonOptions()
+	cases := []struct {
+		g, g0     float64
+		quad, lin float64
+	}{
+		{1, 1, 0.5, 0.5},      // capped at start
+		{0.16, 1, 0.4, 0.16},  // sqrt above ratio
+		{1e-4, 1, 0.01, 1e-4}, // deep in the tail
+		{0.81, 1, 0.5, 0.5},   // sqrt capped, ratio above cap too
+	}
+	for _, c := range cases {
+		opt.Forcing = ForcingQuadratic
+		if got := opt.forcingEta(c.g, c.g0); math.Abs(got-c.quad) > 1e-15 {
+			t.Errorf("quadratic eta(%g/%g) = %g, want %g", c.g, c.g0, got, c.quad)
+		}
+		opt.Forcing = ForcingLinear
+		if got := opt.forcingEta(c.g, c.g0); math.Abs(got-c.lin) > 1e-15 {
+			t.Errorf("linear eta(%g/%g) = %g, want %g", c.g, c.g0, got, c.lin)
+		}
+	}
+	if ForcingQuadratic != 0 {
+		t.Error("the paper's quadratic forcing must be the zero value (default)")
+	}
+}

@@ -92,6 +92,12 @@ type Problem struct {
 	sigma float64
 	// tl is the lazily built two-level preconditioner state.
 	tl *TwoLevelPrec
+	// lastEval caches the most recent Evaluate result, keyed by the
+	// velocity object identity. The Newton line search evaluates the
+	// objective at candidate iterates and then hands the accepted
+	// candidate — the same object — to EvalGradient, which can therefore
+	// reuse the transport solve instead of repeating it.
+	lastEval *Eval
 
 	// Counters used by the reports and the performance model.
 	StateSolves   int
@@ -153,29 +159,32 @@ func (p *Problem) Project(v *field.Vector) *field.Vector {
 	return v
 }
 
-// Evaluate computes the objective at v (one forward solve). Only the
-// final state is kept: the line search calls this repeatedly and needs no
-// time history (EvalGradient stores the full trajectory).
+// Evaluate computes the objective at v (one forward solve). The full
+// state trajectory is retained and the evaluation is cached under the
+// identity of v: when the line search accepts a candidate and the
+// optimizer asks for its gradient, EvalGradient finds the transport solve
+// already done. The per-trial trajectory storage ((nt+1) N^3/p values) is
+// transient, so the §III-C4 memory accounting is unchanged in steady
+// state.
 func (p *Problem) Evaluate(v *field.Vector) *Eval {
-	e := &Eval{V: v}
-	e.Ctx = p.TS.NewContext(v, p.Opt.Incompressible)
-	final := p.TS.StateFinal(e.Ctx, p.RhoT)
-	e.States = make([][]float64, p.Opt.Nt+1)
-	e.States[p.Opt.Nt] = final
-	p.StateSolves++
-	p.finishObjective(e)
-	return e
-}
-
-// evaluateFull is Evaluate with the whole trajectory retained, for the
-// gradient path.
-func (p *Problem) evaluateFull(v *field.Vector) *Eval {
 	e := &Eval{V: v}
 	e.Ctx = p.TS.NewContext(v, p.Opt.Incompressible)
 	e.States = p.TS.State(e.Ctx, p.RhoT)
 	p.StateSolves++
 	p.finishObjective(e)
+	p.lastEval = e
 	return e
+}
+
+// cachedEval returns the cached evaluation of v, or a fresh one. The
+// cache is keyed by object identity — callers that mutate a velocity in
+// place after evaluating it (nothing in this repo does) would have to
+// invalidate it by evaluating another field first.
+func (p *Problem) cachedEval(v *field.Vector) *Eval {
+	if e := p.lastEval; e != nil && e.V == v {
+		return e
+	}
+	return p.Evaluate(v)
 }
 
 // rho1Of wraps the final state slice as a scalar field view.
@@ -211,7 +220,7 @@ func (p *Problem) divGamma() float64 {
 // It also caches the state gradients and adjoint trajectory for the
 // subsequent Hessian matvecs of this Newton iteration.
 func (p *Problem) EvalGradient(v *field.Vector) *Eval {
-	e := p.evaluateFull(v)
+	e := p.cachedEval(v)
 	lamT := p.Opt.dist().TerminalAdjoint(p.rho1Of(e.States), p.RhoR)
 	e.Lambdas = p.TS.Adjoint(e.Ctx, lamT)
 	p.AdjointSolves++

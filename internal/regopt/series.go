@@ -28,6 +28,9 @@ type SeriesProblem struct {
 	NC int
 
 	cur *SeriesEval
+	// lastEval caches the most recent forward solve, keyed by the identity
+	// of the coefficient fields (see Problem.lastEval).
+	lastEval *SeriesEval
 }
 
 // NewSeries wraps a problem for nc velocity intervals; Opt.Nt must be
@@ -74,7 +77,31 @@ func (sp *SeriesProblem) evaluate(vs field.Series) (*SeriesEval, error) {
 		}
 	}
 	e.J = e.Misfit + e.RegE
+	sp.lastEval = e
 	return e, nil
+}
+
+// cachedEval returns the cached evaluation when vs holds the identical
+// coefficient field objects as the last solve (the line-search candidate
+// handed back by the optimizer), or runs a fresh forward solve.
+func (sp *SeriesProblem) cachedEval(vs field.Series) (*SeriesEval, error) {
+	if e := sp.lastEval; e != nil && sameSeries(e.V, vs) {
+		return e, nil
+	}
+	return sp.evaluate(vs)
+}
+
+// sameSeries reports whether two series hold the identical field objects.
+func sameSeries(a, b field.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return len(a) > 0
 }
 
 // Evaluate implements optim.Objective.
@@ -116,7 +143,7 @@ func (sp *SeriesProblem) accumulateBInterval(c int, lams [][]float64, gradRho []
 // gradients, cached for the Hessian matvecs.
 func (sp *SeriesProblem) EvalGradient(vs field.Series) optim.GradVals[field.Series] {
 	p := sp.P
-	e, err := sp.evaluate(vs)
+	e, err := sp.cachedEval(vs)
 	if err != nil {
 		panic(err)
 	}
