@@ -208,7 +208,7 @@ func BenchmarkDistributedFFT(b *testing.B) {
 					b.ResetTimer()
 				}
 				for i := 0; i < b.N; i++ {
-					spec := plan.Forward(local)
+					spec, _ := plan.Forward(local)
 					plan.Inverse(spec)
 				}
 				return nil

@@ -347,7 +347,10 @@ func BenchmarkPoolFFT(b *testing.B) {
 			for i := range s {
 				s[i] = rng.NormFloat64()
 			}
-			body = func() { plan.Inverse(plan.Forward(s)) }
+			body = func() {
+				spec, _ := plan.Forward(s)
+				plan.Inverse(spec)
+			}
 			return nil
 		})
 		if err != nil {

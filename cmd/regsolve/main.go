@@ -10,14 +10,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync/atomic"
+	"syscall"
 
 	"diffreg"
 	"diffreg/internal/grid"
 	"diffreg/internal/imaging"
+	"diffreg/internal/mpi"
 )
 
 func main() {
@@ -45,6 +50,10 @@ func main() {
 	referencePath := flag.String("reference", "", "raw reference volume (with -problem files)")
 	out := flag.String("out", "", "output directory for result volumes (MHD + PGM slices)")
 	quiet := flag.Bool("quiet", false, "suppress per-iteration output")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: optimizer state is saved here periodically and on SIGINT/SIGTERM")
+	checkpointEvery := flag.Int("checkpoint-every", 5, "outer iterations between checkpoints")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file (bit-identical to the uninterrupted run)")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. 'seed=7;site=1:fft-comm:send:3:bitflip' (see mpi.ParseFaultSpec)")
 	flag.Parse()
 
 	if *n1 == 0 {
@@ -103,10 +112,61 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
+	cfg.CheckpointPath = *checkpoint
+	cfg.CheckpointEvery = *checkpointEvery
+	cfg.Resume = *resume
+	cfg.ChaosSpec = *chaos
+
+	// SIGINT/SIGTERM: request a cooperative stop at the next iteration
+	// boundary (the solver flushes a final checkpoint); a second signal
+	// exits immediately.
+	var stopFlag atomic.Bool
+	cfg.StopRequested = stopFlag.Load
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "\nregsolve: interrupt received, stopping at the next iteration boundary (send again to exit now)")
+		stopFlag.Store(true)
+		<-sigCh
+		os.Exit(130)
+	}()
 
 	res, err := diffreg.Register(tmpl, ref, cfg)
 	if err != nil {
+		var comm *mpi.CommError
+		if errors.As(err, &comm) {
+			fmt.Fprintf(os.Stderr, "regsolve: communication failure: %v\n", comm)
+			fmt.Fprintf(os.Stderr, "regsolve: (rank %d, phase %s, op %s)", comm.Rank, comm.Phase, comm.Op)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, " — resume from the last checkpoint with -resume -checkpoint %s", *checkpoint)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(3)
+		}
 		fail(err)
+	}
+	signal.Stop(sigCh)
+
+	for _, d := range res.Degradations {
+		fmt.Printf("solver degradation: %s\n", d)
+	}
+	if res.Interrupted {
+		fmt.Printf("\ninterrupted after %d Newton iterations\n", res.NewtonIters)
+		if *checkpoint != "" && res.CheckpointWriteError == "" {
+			fmt.Printf("state saved; resume with: -resume -checkpoint %s\n", *checkpoint)
+		}
+		if res.CheckpointWriteError != "" {
+			fmt.Fprintf(os.Stderr, "regsolve: checkpoint write failed: %s\n", res.CheckpointWriteError)
+		}
+		os.Exit(2)
+	}
+	if res.CheckpointWriteError != "" {
+		fmt.Fprintf(os.Stderr, "regsolve: warning: checkpoint write failed: %s\n", res.CheckpointWriteError)
+	}
+	if res.Failed {
+		fmt.Fprintf(os.Stderr, "regsolve: solver failed: %s (returning last good iterate)\n", res.FailReason)
+		os.Exit(4)
 	}
 
 	fmt.Printf("\nconverged:        %v (%d Newton iterations, %d Hessian matvecs)\n",

@@ -22,6 +22,7 @@ package diffreg
 import (
 	"fmt"
 
+	"diffreg/internal/ckpt"
 	"diffreg/internal/core"
 	"diffreg/internal/field"
 	"diffreg/internal/grid"
@@ -137,6 +138,29 @@ type Config struct {
 	// Logf receives progress output when Verbose is set (default: stdout
 	// via fmt.Printf behavior is NOT assumed; nil Logf discards).
 	Logf func(format string, args ...any)
+
+	// CheckpointPath enables periodic checkpointing of the optimizer state
+	// (stationary velocity solves without grid continuation only): every
+	// CheckpointEvery outer iterations the velocity iterate, continuation
+	// level, and convergence state are written atomically to this file.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint interval in outer iterations
+	// (default 5 when CheckpointPath is set).
+	CheckpointEvery int
+	// Resume restarts from the checkpoint at CheckpointPath instead of the
+	// zero (or InitialVelocity) guess. The resumed trajectory is
+	// bit-identical to the uninterrupted run at the same rank count.
+	Resume bool
+	// StopRequested is polled at every outer iteration boundary (e.g. from
+	// a signal handler); returning true interrupts the solve after
+	// flushing a final checkpoint, and Result.Interrupted is set.
+	StopRequested func() bool
+	// ChaosSpec attaches a deterministic fault-injection plan to the
+	// communication layer for resilience testing, e.g.
+	// "seed=7;site=1:fft-comm:send:3:bitflip". See mpi.ParseFaultSpec for
+	// the grammar. Injected corruption is detected by receive-side
+	// validation and surfaces as a typed *mpi.CommError.
+	ChaosSpec string
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +227,23 @@ type Result struct {
 
 	// History records the outer-iteration convergence trace.
 	History []IterationRecord
+
+	// Interrupted is true when StopRequested ended the solve early; the
+	// result holds the last accepted iterate and a final checkpoint was
+	// flushed (when CheckpointPath is set). Warped/DetGrad/Displacement
+	// are empty — resume to finish the solve.
+	Interrupted bool
+	// Failed is true when the solver could not keep a finite objective
+	// state even after its recovery ladder; FailReason explains why.
+	Failed     bool
+	FailReason string
+	// Degradations lists every solver guard that fired (PCG breakdowns,
+	// direction fallbacks, rewinds, continuation-level retries) — empty
+	// for a healthy run.
+	Degradations []string
+	// CheckpointWriteError reports a failed checkpoint write (the solve
+	// itself continues when a checkpoint cannot be written).
+	CheckpointWriteError string
 }
 
 // IterationRecord is one outer (Newton or descent) iteration.
@@ -255,9 +296,33 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 		}
 	}
 
+	var faults *mpi.FaultPlan
+	if cfg.ChaosSpec != "" {
+		faults, err = mpi.ParseFaultSpec(cfg.ChaosSpec)
+		if err != nil {
+			return nil, fmt.Errorf("diffreg: %w", err)
+		}
+	}
+	var resume *ckpt.State
+	if cfg.Resume {
+		if cfg.CheckpointPath == "" {
+			return nil, fmt.Errorf("diffreg: Resume requires CheckpointPath")
+		}
+		resume, err = ckpt.Load(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if resume.N != template.N {
+			return nil, fmt.Errorf("diffreg: checkpoint dims %v do not match image dims %v", resume.N, template.N)
+		}
+	}
+	if (cfg.CheckpointPath != "" || cfg.Resume) && cfg.MultilevelLevels > 1 {
+		return nil, fmt.Errorf("diffreg: checkpoint/restart is incompatible with grid continuation (MultilevelLevels > 1)")
+	}
+
 	res := &Result{}
 	var solveErr error
-	_, err = mpi.Run(cfg.Tasks, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+	_, err = mpi.RunWith(cfg.Tasks, mpi.RunOpts{Cost: mpi.DefaultCostModel(), Faults: faults}, func(c *mpi.Comm) error {
 		pe, err := grid.NewPencil(g, c)
 		if err != nil {
 			return err
@@ -313,6 +378,12 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			ContinuationBetas: cfg.ContinuationBetas,
 			FirstOrder:        cfg.FirstOrder,
 			Smooth:            cfg.Smooth,
+			Checkpoint: core.CheckpointConfig{
+				Path:   cfg.CheckpointPath,
+				Every:  cfg.CheckpointEvery,
+				Resume: resume,
+				Stop:   cfg.StopRequested,
+			},
 		}
 		ccfg.Newton.GradTol = cfg.GradTol
 		ccfg.Newton.MaxIters = cfg.MaxNewtonIters
@@ -330,13 +401,22 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			solveErr = err
 			return err
 		}
-		// Gather global artifacts on rank 0 and fill the shared result.
-		warped := out.Warped.Gather()
-		det := out.Det.Gather()
+		// Gather global artifacts on rank 0 and fill the shared result. An
+		// interrupted or failed solve has no deformation map — only the
+		// velocity iterate exists.
+		var warped, det []float64
 		var vel, disp [3][]float64
+		if out.Warped != nil {
+			warped = out.Warped.Gather()
+		}
+		if out.Det != nil {
+			det = out.Det.Gather()
+		}
 		for d := 0; d < 3; d++ {
 			vel[d] = out.V.C[d].Gather()
-			disp[d] = out.U.C[d].Gather()
+			if out.U != nil {
+				disp[d] = out.U.C[d].Gather()
+			}
 		}
 		var series [][3][]float64
 		if len(out.VSeries) > 1 {
@@ -349,6 +429,13 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 		}
 		if c.Rank() == 0 {
 			res.Converged = out.Result.Converged
+			res.Interrupted = out.Result.Interrupted
+			res.Failed = out.Result.Failed
+			res.FailReason = out.Result.FailReason
+			res.Degradations = out.Result.Degradations
+			if out.CheckpointErr != nil {
+				res.CheckpointWriteError = out.CheckpointErr.Error()
+			}
 			res.NewtonIters = out.Counts.NewtonIters
 			res.HessianMatvecs = out.Counts.Matvecs
 			res.MisfitInit = out.MisfitInit

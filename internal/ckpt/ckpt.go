@@ -1,0 +1,236 @@
+// Package ckpt provides versioned, checksummed serialization of the
+// optimizer state for checkpoint/restart. A checkpoint captures everything
+// the Newton driver needs to reproduce the uninterrupted trajectory bit
+// for bit: the velocity iterate (global arrays, gathered on rank 0), the
+// continuation level and regularization weight, the iteration counter, the
+// initial objective scalars that anchor the forcing sequence and the
+// convergence test, and the iteration history.
+//
+// The on-disk format is little-endian binary:
+//
+//	magic   "DREGCKPT"                      (8 bytes)
+//	version uint32                          (currently 1)
+//	payload fixed fields, history, velocity (see State)
+//	crc     uint64 CRC-64/ECMA of everything above
+//
+// Save writes to a temporary file in the same directory, syncs, and
+// renames over the target, so a crash mid-write never corrupts an existing
+// checkpoint. Load verifies magic, version, and checksum before decoding,
+// converting torn or bit-rotted files into typed errors rather than
+// silently resuming from garbage.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+
+	"diffreg/internal/optim"
+)
+
+const magic = "DREGCKPT"
+
+// Version is the current checkpoint format version.
+const Version uint32 = 1
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// State is the checkpointed optimizer state.
+type State struct {
+	N     [3]int // grid dimensions
+	Tasks int    // rank count of the writing run (informational)
+
+	Beta      float64 // regularization weight of the active level
+	BetaLevel int     // continuation schedule index (0 for single solves)
+	Iter      int     // completed outer iterations within the level
+
+	JInit      float64
+	MisfitInit float64
+	GnormInit  float64
+	History    []optim.IterRecord
+
+	// Seed is reserved for stochastic solver extensions; the deterministic
+	// solver writes 0.
+	Seed int64
+
+	// V holds the three global velocity component arrays (row-major,
+	// dimension 2 fastest — the field.Gather layout).
+	V [3][]float64
+}
+
+// FormatError reports a checkpoint file that failed structural validation.
+type FormatError struct {
+	Path   string
+	Detail string
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("ckpt: %s: %s", e.Path, e.Detail)
+}
+
+// encode serializes the payload (everything between version and checksum).
+func encode(st *State) ([]byte, error) {
+	buf := &bytes.Buffer{}
+	w := func(v any) { binary.Write(buf, binary.LittleEndian, v) }
+	for d := 0; d < 3; d++ {
+		w(int64(st.N[d]))
+	}
+	w(int64(st.Tasks))
+	w(st.Beta)
+	w(int64(st.BetaLevel))
+	w(int64(st.Iter))
+	w(st.JInit)
+	w(st.MisfitInit)
+	w(st.GnormInit)
+	w(st.Seed)
+	w(int64(len(st.History)))
+	for _, h := range st.History {
+		w(int64(h.Iter))
+		w(h.J)
+		w(h.Misfit)
+		w(h.Gnorm)
+		w(h.Forcing)
+		w(int64(h.CGIters))
+		w(h.Step)
+		w(int64(h.LineTrial))
+	}
+	total := st.N[0] * st.N[1] * st.N[2]
+	for d := 0; d < 3; d++ {
+		if len(st.V[d]) != total {
+			return nil, fmt.Errorf("ckpt: velocity component %d has %d values, want %d for dims %v",
+				d, len(st.V[d]), total, st.N)
+		}
+		w(int64(len(st.V[d])))
+		w(st.V[d])
+	}
+	return buf.Bytes(), nil
+}
+
+// Save atomically writes the state to path.
+func Save(path string, st *State) error {
+	payload, err := encode(st)
+	if err != nil {
+		return err
+	}
+	buf := &bytes.Buffer{}
+	buf.WriteString(magic)
+	binary.Write(buf, binary.LittleEndian, Version)
+	buf.Write(payload)
+	binary.Write(buf, binary.LittleEndian, crc64.Checksum(buf.Bytes(), crcTable))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return nil
+}
+
+// decoder reads little-endian fields with sticky error state.
+type decoder struct {
+	r   *bytes.Reader
+	err error
+}
+
+func (d *decoder) i64() int64 {
+	var v int64
+	if d.err == nil {
+		d.err = binary.Read(d.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (d *decoder) f64() float64 {
+	var v float64
+	if d.err == nil {
+		d.err = binary.Read(d.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+// Load reads and validates a checkpoint.
+func Load(path string) (*State, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if len(raw) < len(magic)+4+8 {
+		return nil, &FormatError{path, fmt.Sprintf("file too short (%d bytes)", len(raw))}
+	}
+	if string(raw[:len(magic)]) != magic {
+		return nil, &FormatError{path, "bad magic (not a checkpoint file)"}
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(magic):]); v != Version {
+		return nil, &FormatError{path, fmt.Sprintf("unsupported version %d (want %d)", v, Version)}
+	}
+	body, trailer := raw[:len(raw)-8], raw[len(raw)-8:]
+	if got, want := crc64.Checksum(body, crcTable), binary.LittleEndian.Uint64(trailer); got != want {
+		return nil, &FormatError{path, fmt.Sprintf("checksum mismatch (file %016x, computed %016x) — truncated or corrupted", want, got)}
+	}
+
+	d := &decoder{r: bytes.NewReader(body[len(magic)+4:])}
+	st := &State{}
+	for i := 0; i < 3; i++ {
+		st.N[i] = int(d.i64())
+	}
+	st.Tasks = int(d.i64())
+	st.Beta = d.f64()
+	st.BetaLevel = int(d.i64())
+	st.Iter = int(d.i64())
+	st.JInit = d.f64()
+	st.MisfitInit = d.f64()
+	st.GnormInit = d.f64()
+	st.Seed = d.i64()
+	nh := d.i64()
+	total := int64(st.N[0]) * int64(st.N[1]) * int64(st.N[2])
+	if d.err == nil && (nh < 0 || nh > 1<<20 || total <= 0 || total > 1<<34) {
+		return nil, &FormatError{path, fmt.Sprintf("implausible header (dims %v, %d history records)", st.N, nh)}
+	}
+	for i := int64(0); i < nh && d.err == nil; i++ {
+		h := optim.IterRecord{}
+		h.Iter = int(d.i64())
+		h.J = d.f64()
+		h.Misfit = d.f64()
+		h.Gnorm = d.f64()
+		h.Forcing = d.f64()
+		h.CGIters = int(d.i64())
+		h.Step = d.f64()
+		h.LineTrial = int(d.i64())
+		st.History = append(st.History, h)
+	}
+	for c := 0; c < 3 && d.err == nil; c++ {
+		n := d.i64()
+		if n != total {
+			return nil, &FormatError{path, fmt.Sprintf("velocity component %d has %d values, want %d", c, n, total)}
+		}
+		st.V[c] = make([]float64, n)
+		if d.err == nil {
+			d.err = binary.Read(d.r, binary.LittleEndian, st.V[c])
+		}
+	}
+	if d.err != nil {
+		return nil, &FormatError{path, fmt.Sprintf("decode: %v", d.err)}
+	}
+	if d.r.Len() != 0 {
+		return nil, &FormatError{path, fmt.Sprintf("%d trailing bytes after payload", d.r.Len())}
+	}
+	return st, nil
+}

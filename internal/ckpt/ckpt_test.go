@@ -1,0 +1,142 @@
+package ckpt
+
+import (
+	"hash/crc64"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diffreg/internal/optim"
+)
+
+func sample() *State {
+	st := &State{
+		N: [3]int{4, 3, 2}, Tasks: 4,
+		Beta: 1e-2, BetaLevel: 1, Iter: 7,
+		JInit: 3.25, MisfitInit: 3.0, GnormInit: 12.5,
+		History: []optim.IterRecord{
+			{Iter: 0, J: 3.25, Misfit: 3, Gnorm: 12.5, Forcing: 0.5, CGIters: 4, Step: 1, LineTrial: 1},
+			{Iter: 1, J: 1.5, Misfit: 1.25, Gnorm: 4.75, Forcing: 0.31, CGIters: 7, Step: 0.5, LineTrial: 2},
+		},
+		Seed: 42,
+	}
+	for d := 0; d < 3; d++ {
+		st.V[d] = make([]float64, 24)
+		for i := range st.V[d] {
+			st.V[d][i] = math.Sin(float64(d*100+i)) * math.Pow(10, float64(d-1))
+		}
+	}
+	return st
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.ckpt")
+	want := sample()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || got.Tasks != want.Tasks || got.Beta != want.Beta ||
+		got.BetaLevel != want.BetaLevel || got.Iter != want.Iter || got.Seed != want.Seed {
+		t.Fatalf("header mismatch: %+v vs %+v", got, want)
+	}
+	if got.JInit != want.JInit || got.MisfitInit != want.MisfitInit || got.GnormInit != want.GnormInit {
+		t.Fatalf("scalar mismatch")
+	}
+	if len(got.History) != len(want.History) {
+		t.Fatalf("history length %d vs %d", len(got.History), len(want.History))
+	}
+	for i := range want.History {
+		if got.History[i] != want.History[i] {
+			t.Errorf("history %d: %+v vs %+v", i, got.History[i], want.History[i])
+		}
+	}
+	for d := 0; d < 3; d++ {
+		for i := range want.V[d] {
+			if got.V[d][i] != want.V[d][i] {
+				t.Fatalf("component %d value %d: %v vs %v (must be bit-identical)", d, i, got.V[d][i], want.V[d][i])
+			}
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.ckpt")
+	first := sample()
+	if err := Save(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := sample()
+	second.Iter = 11
+	if err := Save(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 11 {
+		t.Fatalf("stale checkpoint survived: iter %d", got.Iter)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("leftover files: %v", entries)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reg.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"bitflip":   append([]byte{}, raw...),
+		"truncated": raw[:len(raw)/2],
+		"badmagic":  append([]byte("NOTACKPT"), raw[8:]...),
+		"short":     raw[:10],
+	}
+	cases["bitflip"][len(raw)/2] ^= 0x10
+	for name, data := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(p); err == nil {
+			t.Errorf("%s: corrupted checkpoint loaded without error", name)
+		}
+	}
+
+	// Version bump must be refused (with the CRC recomputed, so only the
+	// version check can catch it).
+	bumped := append([]byte{}, raw[:len(raw)-8]...)
+	bumped[8] = 99
+	if err := os.WriteFile(filepath.Join(dir, "ver"), appendCRC(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "ver")); err == nil {
+		t.Error("future version loaded without error")
+	}
+}
+
+func appendCRC(body []byte) []byte {
+	sum := crc64.Checksum(body, crcTable)
+	out := append([]byte{}, body...)
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(sum>>(8*i)))
+	}
+	return out
+}

@@ -7,9 +7,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
+	"diffreg/internal/ckpt"
 	"diffreg/internal/field"
 	"diffreg/internal/grid"
 	"diffreg/internal/mpi"
@@ -44,6 +46,30 @@ type Config struct {
 	// V0 warm-starts the stationary solve (used by grid continuation);
 	// nil means the zero velocity.
 	V0 *field.Vector
+	// Checkpoint configures periodic checkpoint/restart of the optimizer
+	// state (stationary velocity solves only).
+	Checkpoint CheckpointConfig
+}
+
+// CheckpointConfig wires checkpoint/restart and cooperative interruption
+// into a solve. All hooks are exercised collectively: every rank gathers,
+// only rank 0 touches the filesystem.
+type CheckpointConfig struct {
+	// Path of the checkpoint file; empty disables periodic writes.
+	Path string
+	// Every is the number of outer iterations between checkpoints
+	// (default 5 when Path is set).
+	Every int
+	// Resume restarts the solve from a previously loaded checkpoint. The
+	// state is shared by all rank goroutines; the velocity is scattered
+	// from rank 0 and the solve continues bit-identically to the
+	// uninterrupted run.
+	Resume *ckpt.State
+	// Stop requests a cooperative interrupt (e.g. from a signal handler).
+	// It may return different values on different ranks — the solver
+	// resolves it with an allreduce so every rank stops at the same
+	// iteration boundary.
+	Stop func() bool
 }
 
 // DefaultConfig mirrors the paper's scalability setup.
@@ -114,6 +140,11 @@ type Outcome struct {
 
 	Phases PhaseBreakdown
 	Counts Counts
+
+	// CheckpointErr reports a failed checkpoint write (rank 0 only). The
+	// solve itself continues — losing a checkpoint must not kill a healthy
+	// run — so the error is surfaced here instead of aborting.
+	CheckpointErr error
 }
 
 // Register runs the full solve for a template/reference pair living on the
@@ -127,6 +158,93 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 	pr, err := regopt.New(ops, rhoT, rhoR, cfg.Opt)
 	if err != nil {
 		return nil, err
+	}
+
+	ck := cfg.Checkpoint
+	betas := cfg.ContinuationBetas
+	var ckptErr error
+	var saveState func(v *field.Vector, prog optim.Progress)
+	if ck.Path != "" || ck.Resume != nil || ck.Stop != nil {
+		if cfg.Intervals > 1 {
+			return nil, fmt.Errorf("core: checkpoint/restart requires a stationary velocity (Intervals = 1)")
+		}
+		// Level/beta bookkeeping for the checkpoint records. curLevel is an
+		// index into the full (unsliced) continuation schedule.
+		curLevel, curBeta := 0, cfg.Opt.Beta
+		levelOffset := 0
+		if rs := ck.Resume; rs != nil {
+			if rs.N != pe.Grid.N {
+				return nil, fmt.Errorf("core: checkpoint dims %v do not match grid %v", rs.N, pe.Grid.N)
+			}
+			v0 := field.NewVector(pe)
+			for d := 0; d < 3; d++ {
+				var global []float64
+				if pe.Comm.Rank() == 0 {
+					global = rs.V[d]
+				}
+				v0.C[d].Scatter(global)
+			}
+			cfg.V0 = v0
+			cfg.Newton.Resume = &optim.ResumeState{
+				Iter: rs.Iter, JInit: rs.JInit, MisfitInit: rs.MisfitInit,
+				GnormInit: rs.GnormInit, History: rs.History,
+			}
+			if len(betas) > 0 {
+				levelOffset = rs.BetaLevel
+				if levelOffset >= len(betas) {
+					levelOffset = len(betas) - 1
+				}
+				betas = betas[levelOffset:]
+				curLevel, curBeta = levelOffset, rs.Beta
+			}
+		}
+		if ck.Stop != nil {
+			stop := ck.Stop
+			cfg.Newton.Stop = func() bool {
+				local := 0.0
+				if stop() {
+					local = 1
+				}
+				// Collective resolution: a signal may land between the polls
+				// of different rank goroutines, so every rank must agree on
+				// whether this iteration stops.
+				return pe.Comm.AllreduceMax(local) > 0
+			}
+		}
+		saveState = func(v *field.Vector, prog optim.Progress) {
+			var comps [3][]float64
+			for d := 0; d < 3; d++ {
+				comps[d] = v.C[d].Gather()
+			}
+			if pe.Comm.Rank() != 0 {
+				return
+			}
+			st := &ckpt.State{
+				N: pe.Grid.N, Tasks: pe.Comm.Size(),
+				Beta: curBeta, BetaLevel: curLevel, Iter: prog.Iter,
+				JInit: prog.JInit, MisfitInit: prog.MisfitInit, GnormInit: prog.GnormInit,
+				History: prog.History, V: comps,
+			}
+			if err := ckpt.Save(ck.Path, st); err != nil {
+				ckptErr = err
+			}
+		}
+		cfg.Newton.OnLevel = func(level int, beta float64) {
+			curLevel, curBeta = levelOffset+level, beta
+		}
+		if ck.Path != "" {
+			every := ck.Every
+			if every <= 0 {
+				every = 5
+			}
+			cfg.Newton.OnIterate = func(vv any, prog optim.Progress) {
+				// prog.Iter counts completed iterations, so this fires after
+				// iterations every, 2*every, ...
+				if prog.Iter%every == 0 {
+					saveState(vv.(*field.Vector), prog)
+				}
+			}
+		}
 	}
 
 	before := *pe.Comm.Stats() // snapshot to report only this solve's work
@@ -182,8 +300,8 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 		switch {
 		case cfg.FirstOrder:
 			res = optim.SteepestDescent[*field.Vector](drv, v0, cfg.Newton)
-		case len(cfg.ContinuationBetas) > 0:
-			res = optim.Continuation[*field.Vector](drv, drv.SetBeta, v0, cfg.ContinuationBetas, cfg.Newton)
+		case len(betas) > 0:
+			res = optim.Continuation[*field.Vector](drv, drv.SetBeta, v0, betas, cfg.Newton)
 		default:
 			res = optim.GaussNewton[*field.Vector](drv, v0, cfg.Newton)
 		}
@@ -191,11 +309,22 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 		out.V = res.V
 		out.MisfitInit = res.MisfitInit
 		out.MisfitFinal = res.MisfitLast
-		if !cfg.SkipMap {
+		if res.Interrupted && saveState != nil && ck.Path != "" {
+			// Flush the final checkpoint so an interrupt never loses more
+			// than the current (incomplete) iteration.
+			saveState(res.V, optim.Progress{
+				Iter: res.Iters, JInit: res.JInit, MisfitInit: res.MisfitInit,
+				GnormInit: res.GnormInit, History: res.History,
+			})
+		}
+		// Map reconstruction needs a usable velocity; an interrupted or
+		// failed solve skips it (the caller gets the iterate itself).
+		if !cfg.SkipMap && !res.Interrupted && !res.Failed {
 			ctx := ts.NewContext(res.V, cfg.Opt.Incompressible)
 			out.U = ts.Displacement(ctx)
 		}
 	}
+	out.CheckpointErr = ckptErr
 	if out.U != nil {
 		out.Det = ts.DetGrad(out.U)
 		out.DetMin = out.Det.Min()

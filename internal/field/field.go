@@ -95,6 +95,25 @@ func localDot(a, b []float64) float64 {
 // NormL2 returns the continuous L2 norm sqrt(integral s^2).
 func (s *Scalar) NormL2() float64 { return math.Sqrt(s.Dot(s)) }
 
+// AllFinite reports whether every value of the distributed field is finite
+// (no NaN, no infinity). It is a collective operation — all ranks call it
+// and receive the same answer — implemented as an allreduce of the local
+// non-finite count (a max-norm would silently drop NaNs, since NaN
+// comparisons are always false).
+func (s *Scalar) AllFinite() bool {
+	data := s.Data
+	local := par.Sum(len(data), func(lo, hi int) float64 {
+		bad := 0.0
+		for i := lo; i < hi; i++ {
+			if math.IsNaN(data[i]) || math.IsInf(data[i], 0) {
+				bad++
+			}
+		}
+		return bad
+	})
+	return s.P.Comm.AllreduceSum(local) == 0
+}
+
 // MaxAbs returns the global max-norm.
 func (s *Scalar) MaxAbs() float64 {
 	data := s.Data
@@ -226,6 +245,20 @@ func (v *Vector) Dot(w *Vector) float64 {
 
 // NormL2 returns the continuous L2 norm of the vector field.
 func (v *Vector) NormL2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// AllFinite reports whether every component value is finite. Collective:
+// all ranks must call it, and all receive the same answer.
+func (v *Vector) AllFinite() bool {
+	ok := true
+	for d := 0; d < 3; d++ {
+		// Each component check is itself collective, so every rank runs all
+		// three — no short-circuit.
+		if !v.C[d].AllFinite() {
+			ok = false
+		}
+	}
+	return ok
+}
 
 // MaxAbs returns the global max-norm over all components.
 func (v *Vector) MaxAbs() float64 {

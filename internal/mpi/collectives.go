@@ -179,6 +179,7 @@ func (c *Comm) Allgather(data []float64) []float64 {
 // Self-exchange is a local copy and is not charged communication cost.
 func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
 	c.stats.Alltoalls++
+	c.collectiveSite()
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")
@@ -204,6 +205,7 @@ func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
 // transpose primitive of the distributed FFT.
 func (c *Comm) AlltoallvComplex(send [][]complex128) [][]complex128 {
 	c.stats.Alltoalls++
+	c.collectiveSite()
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")
@@ -226,6 +228,7 @@ func (c *Comm) AlltoallvComplex(send [][]complex128) [][]complex128 {
 // AlltoallvInt exchanges int slices; used for communication-plan metadata.
 func (c *Comm) AlltoallvInt(send [][]int) [][]int {
 	c.stats.Alltoalls++
+	c.collectiveSite()
 	p := c.Size()
 	if len(send) != p {
 		panic("mpi: alltoallv send length != communicator size")

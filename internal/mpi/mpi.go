@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Phase labels the solver phase to which communication cost is attributed.
@@ -59,20 +60,31 @@ type CostModel struct {
 // bandwidth. perfmodel recalibrates these from measured runs.
 func DefaultCostModel() CostModel { return CostModel{Ts: 2e-6, Tw: 1.0 / 6e9} }
 
-// message is a single point-to-point payload in flight.
+// message is a single point-to-point payload in flight. The envelope
+// fields (seq, wantLen, sum) are populated only when the world runs with
+// validation enabled (a FaultPlan attached or RunOpts.Validate set).
 type message struct {
 	commID int
 	src    int // rank within the communicator
 	tag    int
 	data   any
 	bytes  int
+
+	validate bool
+	seq      uint64 // per-(commID, src, tag) stream sequence number, from 1
+	wantLen  int    // intended payload element count (-1: not validated)
+	sum      uint64 // FNV-1a payload checksum computed before injection (0: not validated)
 }
+
+// streamKey identifies one ordered point-to-point stream at a receiver.
+type streamKey struct{ commID, src, tag int }
 
 // mailbox holds delivered-but-unreceived messages for one world rank.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []message
+	seen  map[streamKey]uint64 // highest seq consumed per stream (validation mode)
 }
 
 func newMailbox() *mailbox {
@@ -88,33 +100,131 @@ func (m *mailbox) put(msg message) {
 	m.cond.Broadcast()
 }
 
+// take outcomes.
+const (
+	takeOK = iota
+	takeAborted
+	takeTimeout
+	takeGap
+)
+
 // take blocks until a message matching (commID, src, tag) is available and
-// removes it from the queue.
-func (m *mailbox) take(commID, src, tag int) message {
+// removes it from the queue. It returns early when the world aborts, or —
+// if timeout > 0 — when no matching message arrives in time (the watchdog
+// ticker wakes waiters periodically so the deadline is observed). Stale
+// duplicate deliveries (seq at or below the last consumed for the stream)
+// are discarded; their count is returned so the receiver can account them.
+// A sequence gap (the next matching message skips ahead of the expected
+// number) means an earlier message on the stream was lost while a later
+// one already arrived; consuming it would hand the receiver a payload of
+// the wrong shape, so takeGap is returned with the expected number and the
+// message is left queued (the world is about to abort anyway).
+func (m *mailbox) take(w *World, commID, src, tag int, timeout time.Duration) (message, int, int, uint64) {
+	var start time.Time
+	if timeout > 0 {
+		start = time.Now()
+	}
+	dropped := 0
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, msg := range m.queue {
-			if msg.commID == commID && msg.src == src && msg.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+		if w.aborted() {
+			return message{}, dropped, takeAborted, 0
+		}
+		for i := 0; i < len(m.queue); i++ {
+			msg := m.queue[i]
+			if msg.commID != commID || msg.src != src || msg.tag != tag {
+				continue
 			}
+			if msg.validate {
+				k := streamKey{commID, src, tag}
+				if m.seen == nil {
+					m.seen = map[streamKey]uint64{}
+				}
+				last := m.seen[k]
+				if msg.seq <= last {
+					m.queue = append(m.queue[:i], m.queue[i+1:]...)
+					dropped++
+					i--
+					continue
+				}
+				if msg.seq != last+1 {
+					return msg, dropped, takeGap, last + 1
+				}
+				m.seen[k] = msg.seq
+			}
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg, dropped, takeOK, 0
+		}
+		if timeout > 0 && time.Since(start) > timeout {
+			return message{}, dropped, takeTimeout, 0
 		}
 		m.cond.Wait()
 	}
 }
 
 // World is the shared state of one parallel run: the mailboxes of all
-// ranks plus communicator-ID bookkeeping.
+// ranks plus communicator-ID bookkeeping, and — when resilience features
+// are enabled — the fault plan, validation flag, watchdog interval, and
+// the abort latch that guarantees a detected failure never hangs the run.
 type World struct {
 	size  int
 	boxes []*mailbox
 	cost  CostModel
 
+	faults   *FaultPlan
+	validate bool
+	watchdog time.Duration
+	done     chan struct{} // closed at world teardown; stops the watchdog ticker
+
 	idMu  sync.Mutex
 	idMap map[string]int
 	idSeq int
+
+	abortFlag atomic.Bool
+	abortMu   sync.Mutex
+	abortRank int
+	abortErr  error
 }
+
+// abort latches the first failure of the world and wakes every blocked
+// receiver so all ranks unwind instead of hanging.
+func (w *World) abort(rank int, err error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortRank, w.abortErr = rank, err
+	}
+	w.abortMu.Unlock()
+	w.abortFlag.Store(true)
+	for _, b := range w.boxes {
+		b.cond.Broadcast()
+	}
+}
+
+// aborted reports whether any rank has latched a failure.
+func (w *World) aborted() bool { return w.abortFlag.Load() }
+
+// abortCause returns the rank and error of the first latched failure.
+func (w *World) abortCause() (int, error) {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortRank, w.abortErr
+}
+
+// abortedError is the sentinel carried by ranks that unwind because a
+// *peer* failed; Run reports the origin failure, not these.
+type abortedError struct{ cause error }
+
+// Error implements error.
+func (e abortedError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("world aborted: %v", e.cause)
+	}
+	return "world aborted"
+}
+
+// Unwrap exposes the origin failure to errors.As/Is.
+func (e abortedError) Unwrap() error { return e.cause }
 
 // commID returns a process-wide communicator ID for the agreed-upon key.
 // All members of a split derive the same key deterministically, so the
@@ -153,6 +263,16 @@ type Stats struct {
 	// batching factor (1 = unbatched, 3 = a full vector per collective).
 	TransposeStages int64
 	TransposeFields int64
+
+	// SendOps / CollOps count point-to-point sends and all-to-all
+	// collective entries per phase. Fault-injection sites are addressed by
+	// these indices (see FaultSite), so the counters double as the site
+	// namespace of a FaultPlan.
+	SendOps [numPhases]int64
+	CollOps [numPhases]int64
+	// DupsDropped counts stale duplicate deliveries discarded by the
+	// receive-side sequence validation.
+	DupsDropped int64
 }
 
 // TotalModeled returns the modeled communication time summed over phases.
@@ -174,25 +294,88 @@ type Comm struct {
 	stats *Stats
 
 	splitSeq int // number of Split calls issued on this communicator
+
+	// seqs numbers outgoing per-(dest, tag) streams when validation is on.
+	// A Comm is owned by its rank goroutine, so no lock is needed.
+	seqs map[[2]int]uint64
+	// pendingFault / pendingSite carry a payload fault from a collective
+	// entry to the collective's first outgoing send.
+	pendingFault FaultKind
+	pendingSite  FaultSite
+}
+
+// RunOpts configures a world beyond the cost model.
+type RunOpts struct {
+	// Cost is the communication cost model.
+	Cost CostModel
+	// Faults attaches a deterministic fault-injection plan. Attaching a
+	// plan implies Validate and enables a default watchdog.
+	Faults *FaultPlan
+	// Validate enables message envelopes (sequence numbers, length and
+	// checksum verification on every receive) without injecting faults.
+	Validate bool
+	// Watchdog bounds how long a receive may wait for a message before it
+	// raises a timeout CommError; 0 disables (or, with Faults attached,
+	// selects the 2s default). The deadline counts only time spent blocked
+	// inside a receive, never compute time, so it cannot false-positive on
+	// slow kernels.
+	Watchdog time.Duration
 }
 
 // Run executes fn concurrently on p ranks and blocks until all complete.
 // It returns the first non-nil error (if any) and the per-rank stats.
 func Run(p int, cost CostModel, fn func(c *Comm) error) ([]*Stats, error) {
+	return RunWith(p, RunOpts{Cost: cost}, fn)
+}
+
+// RunWith is Run with resilience options. Any rank failure — a returned
+// error, a raised CommError, or a genuine panic — aborts the whole world:
+// every receiver blocked on a message from the failed rank wakes up and
+// unwinds, so RunWith always returns instead of hanging.
+func RunWith(p int, opts RunOpts, fn func(c *Comm) error) ([]*Stats, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("mpi: world size %d < 1", p)
 	}
-	w := &World{size: p, cost: cost, idMap: map[string]int{}}
+	w := &World{size: p, cost: opts.Cost, idMap: map[string]int{}}
+	w.faults = opts.Faults
+	w.validate = opts.Validate || opts.Faults != nil
+	w.watchdog = opts.Watchdog
+	if w.watchdog == 0 && opts.Faults != nil {
+		w.watchdog = 2 * time.Second
+	}
 	w.boxes = make([]*mailbox, p)
 	group := make([]int, p)
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
 		group[i] = i
 	}
+	if w.watchdog > 0 {
+		// The watchdog ticker wakes every blocked receiver periodically so
+		// receive deadlines are observed even when no message ever arrives.
+		w.done = make(chan struct{})
+		interval := w.watchdog / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-w.done:
+					return
+				case <-t.C:
+					for _, b := range w.boxes {
+						b.cond.Broadcast()
+					}
+				}
+			}
+		}()
+	}
 	stats := make([]*Stats, p)
 	errs := make([]error, p)
+	panics := make([]string, p)
 	var wg sync.WaitGroup
-	var panicVal atomic.Value
 	for r := 0; r < p; r++ {
 		stats[r] = &Stats{}
 		c := &Comm{world: w, id: 0, rank: r, group: group, stats: stats[r]}
@@ -201,20 +384,45 @@ func Run(p int, cost CostModel, fn func(c *Comm) error) ([]*Stats, error) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
-					panicVal.Store(fmt.Sprintf("rank %d: %v", r, v))
+					if rf, ok := v.(rankFailure); ok {
+						if _, secondary := rf.err.(abortedError); !secondary {
+							w.abort(r, rf.err)
+						}
+						errs[r] = rf.err
+						return
+					}
+					panics[r] = fmt.Sprintf("%v", v)
+					w.abort(r, fmt.Errorf("panic: %v", v))
 				}
 			}()
 			errs[r] = fn(c)
+			if errs[r] != nil {
+				w.abort(r, errs[r])
+			}
 		}(r, c)
 	}
 	wg.Wait()
-	if v := panicVal.Load(); v != nil {
-		return stats, fmt.Errorf("mpi: panic in %s", v)
+	if w.done != nil {
+		close(w.done)
 	}
-	for r, err := range errs {
-		if err != nil {
-			return stats, fmt.Errorf("mpi: rank %d: %w", r, err)
+	for r, msg := range panics {
+		if msg != "" {
+			return stats, fmt.Errorf("mpi: panic in rank %d: %v", r, msg)
 		}
+	}
+	// Report the origin failure deterministically (lowest failing rank),
+	// skipping ranks that merely unwound because a peer aborted the world.
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, secondary := err.(abortedError); secondary {
+			continue
+		}
+		return stats, fmt.Errorf("mpi: rank %d: %w", r, err)
+	}
+	if _, cause := w.abortCause(); cause != nil {
+		return stats, fmt.Errorf("mpi: aborted: %w", cause)
 	}
 	return stats, nil
 }
@@ -307,24 +515,180 @@ func clonePayload(data any) any {
 }
 
 // Send delivers data to dest (rank within this communicator) with the given
-// tag. Sends are buffered and never block.
+// tag. Sends are buffered and never block. With validation enabled the
+// message carries an envelope (sequence number, length, checksum) computed
+// before any fault is applied; with a FaultPlan attached, a matching
+// injection site mutates, delays, drops, or duplicates the message.
 func (c *Comm) Send(dest, tag int, data any) {
 	if dest < 0 || dest >= len(c.group) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dest, len(c.group)))
 	}
-	n := payloadBytes(data)
-	msg := message{commID: c.id, src: c.rank, tag: tag, data: clonePayload(data), bytes: n}
-	c.world.boxes[c.group[dest]].put(msg)
+	w := c.world
+	if w.aborted() {
+		c.raiseAbort()
+	}
+	payload := clonePayload(data)
+	msg := message{commID: c.id, src: c.rank, tag: tag}
+	if w.validate {
+		msg.validate = true
+		msg.wantLen = payloadLen(payload)
+		msg.sum = payloadChecksum(payload)
+		msg.seq = c.nextSeq(dest, tag)
+	}
+	idx := c.stats.SendOps[c.phase]
+	c.stats.SendOps[c.phase]++
+	dup := false
+	if fp := w.faults; fp != nil {
+		kind, site := c.pendingFault, c.pendingSite
+		c.pendingFault = FaultNone
+		if kind == FaultNone {
+			kind = fp.lookup(c.WorldRank(), c.phase, OpSend, idx)
+			site = FaultSite{Rank: c.WorldRank(), Phase: c.phase, Op: OpSend, Index: idx, Kind: kind}
+		}
+		switch kind {
+		case FaultDelay:
+			fp.record(site)
+			time.Sleep(fp.delay())
+		case FaultStall:
+			fp.record(site)
+			c.stall(fp)
+		case FaultDrop:
+			fp.record(site)
+			return // the message is lost; the receiver's watchdog detects it
+		case FaultDuplicate:
+			fp.record(site)
+			dup = true
+		case FaultBitFlip:
+			if corruptBit(payload, fp.bitFor(site, payloadBytes(payload))) {
+				fp.record(site)
+			}
+		case FaultTruncate:
+			if p2, ok := truncatePayload(payload); ok {
+				payload = p2
+				fp.record(site)
+			}
+		}
+	}
+	msg.data = payload
+	msg.bytes = payloadBytes(payload)
+	box := w.boxes[c.group[dest]]
+	box.put(msg)
+	if dup {
+		box.put(msg)
+	}
+}
+
+// nextSeq numbers the outgoing (dest, tag) stream on this communicator.
+func (c *Comm) nextSeq(dest, tag int) uint64 {
+	if c.seqs == nil {
+		c.seqs = map[[2]int]uint64{}
+	}
+	k := [2]int{dest, tag}
+	c.seqs[k]++
+	return c.seqs[k]
+}
+
+// raiseAbort unwinds the calling rank because a peer latched a failure.
+func (c *Comm) raiseAbort() {
+	_, cause := c.world.abortCause()
+	panic(rankFailure{abortedError{cause: cause}})
+}
+
+// stall parks the rank until the world aborts (a peer's watchdog noticed)
+// or the plan's stall bound elapses — whichever comes first — so a stalled
+// rank can never hang the process.
+func (c *Comm) stall(fp *FaultPlan) {
+	max := fp.MaxStall
+	if max == 0 {
+		if c.world.watchdog > 0 {
+			max = 4 * c.world.watchdog
+		} else {
+			max = 2 * time.Second
+		}
+	}
+	deadline := time.Now().Add(max)
+	for !c.world.aborted() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c.world.aborted() {
+		c.raiseAbort()
+	}
+}
+
+// collectiveSite counts one all-to-all collective entry against the
+// per-phase site namespace and applies any fault registered there. Delay
+// and stall act on the rank at the collective entry; payload kinds are
+// deferred onto the collective's first outgoing send (on a size-1
+// communicator no send ever happens, so such a site is a silent no-op).
+func (c *Comm) collectiveSite() {
+	w := c.world
+	if w.aborted() {
+		c.raiseAbort()
+	}
+	idx := c.stats.CollOps[c.phase]
+	c.stats.CollOps[c.phase]++
+	fp := w.faults
+	if fp == nil {
+		return
+	}
+	kind := fp.lookup(c.WorldRank(), c.phase, OpCollective, idx)
+	if kind == FaultNone {
+		return
+	}
+	site := FaultSite{Rank: c.WorldRank(), Phase: c.phase, Op: OpCollective, Index: idx, Kind: kind}
+	switch kind {
+	case FaultDelay:
+		fp.record(site)
+		time.Sleep(fp.delay())
+	case FaultStall:
+		fp.record(site)
+		c.stall(fp)
+	default:
+		c.pendingFault = kind
+		c.pendingSite = site
+	}
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. Communication cost is charged to the current phase
-// on the receiving rank.
+// on the receiving rank. With validation enabled, a truncated or corrupted
+// payload — and, with a watchdog, a message that never arrives — raises a
+// typed *CommError that aborts the world.
 func (c *Comm) Recv(src, tag int) any {
 	if src < 0 || src >= len(c.group) {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d (size %d)", src, len(c.group)))
 	}
-	msg := c.world.boxes[c.group[c.rank]].take(c.id, src, tag)
+	w := c.world
+	msg, dups, status, wantSeq := w.boxes[c.group[c.rank]].take(w, c.id, src, tag, w.watchdog)
+	c.stats.DupsDropped += int64(dups)
+	switch status {
+	case takeAborted:
+		c.raiseAbort()
+	case takeTimeout:
+		Raise(&CommError{
+			Rank: c.WorldRank(), Phase: c.phase, Op: "recv",
+			Detail: fmt.Sprintf("timeout after %v waiting for message from rank %d tag %d (message lost or sender stalled)", w.watchdog, src, tag),
+		})
+	case takeGap:
+		Raise(&CommError{
+			Rank: c.WorldRank(), Phase: c.phase, Op: "recv",
+			Detail: fmt.Sprintf("sequence gap from rank %d tag %d: next message is #%d, expected #%d (message lost)", src, tag, msg.seq, wantSeq),
+		})
+	}
+	if msg.validate {
+		if n := payloadLen(msg.data); msg.wantLen >= 0 && n != msg.wantLen {
+			Raise(&CommError{
+				Rank: c.WorldRank(), Phase: c.phase, Op: "recv",
+				Detail: fmt.Sprintf("payload from rank %d tag %d has %d elements, expected %d (truncated message)", src, tag, n, msg.wantLen),
+			})
+		}
+		if msg.sum != 0 && payloadChecksum(msg.data) != msg.sum {
+			Raise(&CommError{
+				Rank: c.WorldRank(), Phase: c.phase, Op: "recv",
+				Detail: fmt.Sprintf("payload from rank %d tag %d fails checksum validation (corrupted message)", src, tag),
+			})
+		}
+	}
 	c.charge(msg.bytes)
 	return msg.data
 }

@@ -1,0 +1,416 @@
+package optim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// hostile is a diagonal convex quadratic J(v) = 1/2 <v, (A+beta I) v> -
+// <b, v> whose callbacks can be poisoned on demand: a specific Evaluate,
+// EvalGradient, or HessMatVec call (1-based counters) returns NaN, or the
+// gradient is poisoned whenever the regularization weight equals
+// poisonBeta. This is the unit-level stand-in for a transport solve
+// corrupted by a bit-flipped message: the fault surfaces as a non-finite
+// number in an otherwise well-posed problem.
+type hostile struct {
+	a, b dvec
+	beta float64
+
+	evalN, gradN, mvN int
+	poisonEval        func(n int) bool
+	poisonGrad        func(n int) bool
+	poisonMV          func(n int) bool
+	poisonBeta        float64
+	nanPrec           bool
+}
+
+func (p *hostile) j(v dvec) float64 {
+	j := 0.0
+	for i := range v {
+		j += 0.5*(p.a[i]+p.beta)*v[i]*v[i] - p.b[i]*v[i]
+	}
+	return j
+}
+
+func (p *hostile) Evaluate(v dvec) ObjVals {
+	p.evalN++
+	if p.poisonEval != nil && p.poisonEval(p.evalN) {
+		return ObjVals{J: math.NaN(), Misfit: math.NaN()}
+	}
+	j := p.j(v)
+	return ObjVals{J: j, Misfit: j}
+}
+
+func (p *hostile) EvalGradient(v dvec) GradVals[dvec] {
+	p.gradN++
+	poisoned := p.poisonGrad != nil && p.poisonGrad(p.gradN)
+	if p.poisonBeta != 0 && p.beta == p.poisonBeta {
+		poisoned = true
+	}
+	g := make(dvec, len(v))
+	for i := range v {
+		g[i] = (p.a[i]+p.beta)*v[i] - p.b[i]
+	}
+	if poisoned {
+		return GradVals[dvec]{J: math.NaN(), Misfit: math.NaN(), G: g, Gnorm: math.NaN()}
+	}
+	return GradVals[dvec]{J: p.j(v), Misfit: p.j(v), G: g, Gnorm: g.NormL2()}
+}
+
+func (p *hostile) HessMatVec(w dvec) dvec {
+	p.mvN++
+	out := w.Clone()
+	if p.poisonMV != nil && p.poisonMV(p.mvN) {
+		out.Scale(math.NaN())
+		return out
+	}
+	for i := range out {
+		out[i] *= p.a[i] + p.beta
+	}
+	return out
+}
+
+func (p *hostile) ApplyPrec(r dvec) dvec {
+	out := r.Clone()
+	if p.nanPrec {
+		out.Scale(math.NaN())
+	}
+	return out
+}
+
+func (p *hostile) Project(v dvec) dvec { return v }
+
+func (p *hostile) solution() dvec {
+	x := make(dvec, len(p.b))
+	for i := range x {
+		x[i] = p.b[i] / (p.a[i] + p.beta)
+	}
+	return x
+}
+
+func assertNear(t *testing.T, got, want dvec, tol float64) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Errorf("component %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPCGRestartOnCorruptedPreconditioner: a NaN-producing preconditioner
+// breaks the very first recurrence; the guarded PCG must retry once with
+// the identity and still solve the system.
+func TestPCGRestartOnCorruptedPreconditioner(t *testing.T) {
+	p := &hostile{a: dvec{2, 1, 0.5}, b: dvec{1, 1, 1}, nanPrec: true}
+	rhs := dvec{1, 1, 1}
+	x, res := PCG(p.HessMatVec, p.ApplyPrec, rhs, 1e-10, 50)
+	if res.Breakdown || !res.Converged || res.Restarts != 1 {
+		t.Fatalf("want converged restart=1, got %+v", res)
+	}
+	assertNear(t, x, dvec{0.5, 1, 2}, 1e-8)
+}
+
+// TestPCGBreakdownOnCorruptedMatvec: when the operator itself is the
+// corrupted piece, the identity restart cannot rescue the solve; PCG must
+// report Breakdown (with the restart attempt counted) and return the zero
+// vector rather than NaNs.
+func TestPCGBreakdownOnCorruptedMatvec(t *testing.T) {
+	p := &hostile{a: dvec{2, 1}, b: dvec{1, 1}, poisonMV: func(int) bool { return true }}
+	x, res := PCG(p.HessMatVec, p.ApplyPrec, dvec{1, 1}, 1e-10, 50)
+	if !res.Breakdown || res.Restarts != 1 || res.Converged {
+		t.Fatalf("want breakdown after restart, got %+v", res)
+	}
+	for i, xi := range x {
+		if xi != 0 {
+			t.Errorf("component %d: want the zero iterate, got %g", i, xi)
+		}
+	}
+}
+
+// TestPCGBreakdownMidSolveKeepsFiniteIterate: a matvec that turns NaN only
+// on the third application must leave PCG with the last finite truncated
+// iterate, not a poisoned one.
+func TestPCGBreakdownMidSolveKeepsFiniteIterate(t *testing.T) {
+	p := &hostile{a: dvec{5, 2, 1, 0.3}, b: dvec{1, 1, 1, 1},
+		poisonMV: func(n int) bool { return n >= 3 }}
+	x, res := PCG(p.HessMatVec, p.ApplyPrec, dvec{1, 1, 1, 1}, 1e-14, 50)
+	if !res.Breakdown {
+		t.Fatalf("want breakdown, got %+v", res)
+	}
+	if res.Iters == 0 {
+		t.Fatalf("breakdown should happen mid-solve, got iters=0")
+	}
+	for i, xi := range x {
+		if !finite(xi) {
+			t.Errorf("component %d of the returned iterate is %g", i, xi)
+		}
+	}
+}
+
+// TestNewtonFallsBackOnPCGBreakdown: a corrupted Hessian matvec at one
+// specific application must degrade that single Newton step to the
+// preconditioned gradient, record the degradation, and leave the overall
+// solve convergent.
+func TestNewtonFallsBackOnPCGBreakdown(t *testing.T) {
+	// The first two matvecs are poisoned so both the preconditioned pass
+	// and its identity-restart break down; the step degrades to the
+	// preconditioned gradient.
+	p := &hostile{a: dvec{1.5, 1, 0.5}, b: dvec{1, -2, 0.5},
+		poisonMV: func(n int) bool { return n <= 2 }}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-10
+	opt.MaxIters = 60
+	res := GaussNewton[dvec](p, dvec{3, -3, 2}, opt)
+	if res.Failed || !res.Converged {
+		t.Fatalf("want converged despite matvec fault: %+v", res)
+	}
+	if len(res.Degradations) == 0 || !strings.Contains(res.Degradations[0], "PCG breakdown") {
+		t.Fatalf("want a PCG-breakdown degradation record, got %v", res.Degradations)
+	}
+	assertNear(t, res.V, p.solution(), 1e-6)
+}
+
+// TestArmijoRejectsNaNCandidate: a NaN objective at the first line-search
+// trial (a transiently corrupted forward solve) must fail the sufficient
+// decrease test and let the search continue to a shorter, finite step.
+func TestArmijoRejectsNaNCandidate(t *testing.T) {
+	p := &hostile{a: dvec{1.5, 1}, b: dvec{1, -2},
+		poisonEval: func(n int) bool { return n == 1 }}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-10
+	res := GaussNewton[dvec](p, dvec{3, -3}, opt)
+	if res.Failed || !res.Converged {
+		t.Fatalf("want convergence, got %+v", res)
+	}
+	if res.History[0].LineTrial < 2 {
+		t.Errorf("first accepted step should need >= 2 trials (NaN rejected), got %d", res.History[0].LineTrial)
+	}
+	if res.History[0].Step != 0.5 {
+		t.Errorf("first accepted step should be the halved one, got %g", res.History[0].Step)
+	}
+}
+
+// TestNewtonRewindsOnNaNGradient: a non-finite gradient evaluation mid-run
+// must rewind to the last accepted iterate, take one forced
+// steepest-descent step, record the degradation, and still finish finite.
+func TestNewtonRewindsOnNaNGradient(t *testing.T) {
+	p := &hostile{a: dvec{1.5, 1, 0.5}, b: dvec{1, -2, 0.5},
+		poisonGrad: func(n int) bool { return n == 3 }}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-10
+	opt.MaxIters = 60
+	res := GaussNewton[dvec](p, dvec{3, -3, 2}, opt)
+	if res.Failed {
+		t.Fatalf("one transient NaN must not fail the solve: %+v", res)
+	}
+	if !res.Converged {
+		t.Fatalf("want convergence after rewind: ||g|| %g -> %g", res.GnormInit, res.GnormLast)
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if strings.Contains(d, "rewind") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a rewind degradation record, got %v", res.Degradations)
+	}
+	if !finite(res.JFinal) || !finite(res.GnormLast) {
+		t.Errorf("non-finite result state: J=%v ||g||=%v", res.JFinal, res.GnormLast)
+	}
+	assertNear(t, res.V, p.solution(), 1e-6)
+}
+
+// TestNewtonFailsAfterRewindBudget: a persistently non-finite problem must
+// exhaust the rewind budget and return Failed with the last good iterate —
+// never hang, never return NaNs.
+func TestNewtonFailsAfterRewindBudget(t *testing.T) {
+	p := &hostile{a: dvec{1, 1}, b: dvec{1, 1},
+		poisonGrad: func(n int) bool { return n >= 2 }}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-12
+	opt.MaxIters = 60
+	res := GaussNewton[dvec](p, dvec{3, -3}, opt)
+	if !res.Failed || res.FailReason == "" {
+		t.Fatalf("want Failed with a reason, got %+v", res)
+	}
+	for i, xi := range res.V {
+		if !finite(xi) {
+			t.Errorf("last-good iterate component %d is %g", i, xi)
+		}
+	}
+	if len(res.Degradations) < int(opt.MaxRewinds)+1 && len(res.Degradations) < 3 {
+		t.Errorf("want rewind trail then failure, got %v", res.Degradations)
+	}
+}
+
+// TestNewtonFailsImmediatelyOnPoisonedStart: when even the initial
+// evaluation is non-finite there is nothing to rewind to; the solve must
+// fail fast with a structured reason.
+func TestNewtonFailsImmediatelyOnPoisonedStart(t *testing.T) {
+	p := &hostile{a: dvec{1, 1}, b: dvec{1, 1},
+		poisonGrad: func(int) bool { return true }}
+	res := GaussNewton[dvec](p, dvec{1, 1}, DefaultNewtonOptions())
+	if !res.Failed || res.Iters != 0 {
+		t.Fatalf("want immediate failure, got %+v", res)
+	}
+	if !strings.Contains(res.FailReason, "non-finite") {
+		t.Errorf("FailReason = %q", res.FailReason)
+	}
+}
+
+// TestSteepestDescentFailsOnNaN covers the same guard on the first-order
+// path, which has no rewind ladder.
+func TestSteepestDescentFailsOnNaN(t *testing.T) {
+	p := &hostile{a: dvec{1, 1}, b: dvec{1, 1},
+		poisonGrad: func(n int) bool { return n >= 2 }}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-12
+	opt.MaxIters = 50
+	res := SteepestDescent[dvec](p, dvec{3, -3}, opt)
+	if !res.Failed || res.FailReason == "" {
+		t.Fatalf("want Failed, got %+v", res)
+	}
+}
+
+// TestStopInterruptsNewton: the collective stop flag must halt the solve
+// at an iteration boundary with the last accepted iterate intact.
+func TestStopInterruptsNewton(t *testing.T) {
+	p := &hostile{a: dvec{1.5, 1}, b: dvec{1, -2}}
+	calls := 0
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-14
+	opt.MaxIters = 50
+	opt.Stop = func() bool { calls++; return calls > 2 }
+	iterates := 0
+	opt.OnIterate = func(v any, prog Progress) { iterates++ }
+	res := GaussNewton[dvec](p, dvec{3, -3}, opt)
+	if !res.Interrupted {
+		t.Fatalf("want Interrupted, got %+v", res)
+	}
+	if res.Iters != 2 || iterates != 2 {
+		t.Errorf("want exactly 2 completed iterations, got Iters=%d OnIterate=%d", res.Iters, iterates)
+	}
+	for i, xi := range res.V {
+		if !finite(xi) {
+			t.Errorf("interrupted iterate component %d is %g", i, xi)
+		}
+	}
+}
+
+// TestResumeIsBitIdentical is the heart of the checkpoint guarantee at the
+// driver level: a solve resumed from the OnIterate snapshot of iteration k
+// must reproduce the uninterrupted trajectory bit for bit — same iterates,
+// same history, same final state.
+func TestResumeIsBitIdentical(t *testing.T) {
+	mk := func() *hostile { return &hostile{a: dvec{1.7, 1.1, 0.6, 0.3}, b: dvec{1, -2, 0.5, 3}} }
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-13
+	opt.MaxIters = 8
+
+	// Uninterrupted run, capturing the snapshot after iteration 3.
+	var snapV dvec
+	var snapProg Progress
+	full := opt
+	full.OnIterate = func(v any, prog Progress) {
+		if prog.Iter == 3 {
+			snapV = v.(dvec).Clone()
+			hist := make([]IterRecord, len(prog.History))
+			copy(hist, prog.History)
+			prog.History = hist
+			snapProg = prog
+		}
+	}
+	ref := GaussNewton[dvec](mk(), dvec{3, -3, 2, -1}, full)
+	if snapV == nil {
+		t.Fatalf("reference run finished before iteration 3 (%d iters)", ref.Iters)
+	}
+
+	resumed := opt
+	resumed.Resume = &ResumeState{
+		Iter: snapProg.Iter, JInit: snapProg.JInit, MisfitInit: snapProg.MisfitInit,
+		GnormInit: snapProg.GnormInit, History: snapProg.History,
+	}
+	res := GaussNewton[dvec](mk(), snapV, resumed)
+
+	if res.Iters != ref.Iters || res.Converged != ref.Converged {
+		t.Fatalf("trajectory diverged: iters %d vs %d, converged %v vs %v",
+			res.Iters, ref.Iters, res.Converged, ref.Converged)
+	}
+	if res.JFinal != ref.JFinal || res.GnormLast != ref.GnormLast {
+		t.Errorf("final state not bit-identical: J %v vs %v, ||g|| %v vs %v",
+			res.JFinal, ref.JFinal, res.GnormLast, ref.GnormLast)
+	}
+	for i := range ref.V {
+		if res.V[i] != ref.V[i] {
+			t.Errorf("iterate component %d: %v vs %v", i, res.V[i], ref.V[i])
+		}
+	}
+	if len(res.History) != len(ref.History) {
+		t.Fatalf("history length %d vs %d", len(res.History), len(ref.History))
+	}
+	for i := range ref.History {
+		if res.History[i] != ref.History[i] {
+			t.Errorf("history record %d differs: %+v vs %+v", i, res.History[i], ref.History[i])
+		}
+	}
+}
+
+// TestContinuationRetriesFailedLevel: when one continuation level is
+// poisoned (every gradient at that beta is non-finite), the ladder must
+// raise beta half a level — the geometric mean with the previous weight —
+// and finish from the last good iterate instead of failing outright.
+func TestContinuationRetriesFailedLevel(t *testing.T) {
+	p := &hostile{a: dvec{1.5, 1}, b: dvec{1, -2}, poisonBeta: 1e-2}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-10
+	opt.MaxIters = 60
+	var levels []float64
+	opt.OnLevel = func(level int, beta float64) { levels = append(levels, beta) }
+	res := Continuation[dvec](p, func(b float64) { p.beta = b }, dvec{3, -3},
+		[]float64{1e-1, 1e-2}, opt)
+	if res.Failed {
+		t.Fatalf("retry should rescue the schedule, got %+v", res)
+	}
+	want := math.Sqrt(1e-1 * 1e-2)
+	if p.beta != want {
+		t.Errorf("final beta %g, want the geometric-mean retry level %g", p.beta, want)
+	}
+	found := false
+	for _, d := range res.Degradations {
+		if strings.Contains(d, "retrying at beta") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want a level-retry degradation record, got %v", res.Degradations)
+	}
+	if len(levels) != 2 {
+		t.Errorf("OnLevel calls: %v", levels)
+	}
+	if !res.Converged {
+		t.Errorf("retry level did not converge: ||g|| %g -> %g", res.GnormInit, res.GnormLast)
+	}
+}
+
+// TestContinuationStopsOnInterrupt: an interrupt inside a level must
+// propagate out immediately without starting later levels.
+func TestContinuationStopsOnInterrupt(t *testing.T) {
+	p := &hostile{a: dvec{1.5, 1}, b: dvec{1, -2}}
+	opt := DefaultNewtonOptions()
+	opt.GradTol = 1e-14
+	opt.MaxIters = 50
+	calls := 0
+	opt.Stop = func() bool { calls++; return calls > 1 }
+	var levels int
+	opt.OnLevel = func(int, float64) { levels++ }
+	res := Continuation[dvec](p, func(b float64) { p.beta = b }, dvec{3, -3},
+		[]float64{1e-1, 1e-2, 1e-3}, opt)
+	if !res.Interrupted {
+		t.Fatalf("want Interrupted, got %+v", res)
+	}
+	if levels != 1 {
+		t.Errorf("later levels must not start after an interrupt, OnLevel ran %d times", levels)
+	}
+}

@@ -1,6 +1,9 @@
 package optim
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Forcing selects the Eisenstat-Walker forcing sequence that sets the
 // Krylov tolerance of each inexact Newton step.
@@ -19,6 +22,30 @@ const (
 	ForcingLinear
 )
 
+// Progress is the optimizer-state snapshot handed to OnIterate after each
+// accepted step: everything a checkpoint needs besides the iterate itself.
+type Progress struct {
+	Iter       int // completed outer iterations (the iterate is v_Iter)
+	JInit      float64
+	MisfitInit float64
+	GnormInit  float64
+	History    []IterRecord
+}
+
+// ResumeState warm-starts a solve from checkpointed progress. The iterate
+// itself is passed as v0; it is NOT re-projected (checkpointed iterates
+// are already feasible), and the initial objective values are restored
+// instead of re-measured, so forcing terms and convergence tests — and
+// therefore the entire trajectory — are bit-identical to the
+// uninterrupted solve.
+type ResumeState struct {
+	Iter       int // completed outer iterations at checkpoint time
+	JInit      float64
+	MisfitInit float64
+	GnormInit  float64
+	History    []IterRecord
+}
+
 // NewtonOptions controls the inexact (Gauss-)Newton-Krylov driver. The
 // defaults mirror the paper's setup: relative gradient tolerance 1e-2,
 // at most 50 outer iterations, quadratic forcing capped at 0.5.
@@ -32,6 +59,27 @@ type NewtonOptions struct {
 	MaxLineSearch int     // maximum Armijo halvings
 	ArmijoC1      float64 // sufficient decrease constant
 	Log           func(format string, args ...any)
+
+	// Stop is polled once at the top of every outer iteration; when it
+	// returns true the solve stops with Result.Interrupted set. On a
+	// distributed problem the callback MUST be collective (all ranks must
+	// agree), e.g. an allreduce of a local flag.
+	Stop func() bool
+	// OnIterate runs after every accepted step with the new iterate (the
+	// concrete vector, typed any to keep the options non-generic) and the
+	// progress snapshot; checkpointing hooks in here. On a distributed
+	// problem it runs on all ranks at the same iterations, so collective
+	// operations are safe inside.
+	OnIterate func(v any, prog Progress)
+	// OnLevel runs at the start of each continuation level (schedule
+	// index, beta value).
+	OnLevel func(level int, beta float64)
+	// Resume warm-starts the solve from checkpointed progress; see
+	// ResumeState.
+	Resume *ResumeState
+	// MaxRewinds bounds how often a non-finite evaluation may rewind to
+	// the last good iterate before the solve gives up (default 2).
+	MaxRewinds int
 }
 
 // forcingEta evaluates the selected Eisenstat-Walker sequence.
@@ -54,6 +102,14 @@ func DefaultNewtonOptions() NewtonOptions {
 		MaxLineSearch: 20,
 		ArmijoC1:      1e-4,
 	}
+}
+
+// maxRewinds returns the effective rewind budget.
+func (o *NewtonOptions) maxRewinds() int {
+	if o.MaxRewinds > 0 {
+		return o.MaxRewinds
+	}
+	return 2
 }
 
 // IterRecord captures one outer iteration for reporting.
@@ -80,6 +136,24 @@ type Result[T Vec[T]] struct {
 	GnormLast  float64
 	Converged  bool
 	History    []IterRecord
+
+	// Interrupted is set when Stop requested an early exit; V is the last
+	// accepted iterate.
+	Interrupted bool
+	// Failed is set when the solve could not maintain a finite objective
+	// state even after the escalation ladder (rewinds, steepest-descent
+	// fallbacks); V still holds the last good iterate.
+	Failed     bool
+	FailReason string
+	// Degradations records every guard that fired (PCG breakdowns,
+	// direction fallbacks, rewinds), in order — the structured diagnostic
+	// trail of a faulty run.
+	Degradations []string
+}
+
+// degrade appends a structured degradation record.
+func (r *Result[T]) degrade(format string, args ...any) {
+	r.Degradations = append(r.Degradations, fmt.Sprintf(format, args...))
 }
 
 func (o *NewtonOptions) logf(format string, args ...any) {
@@ -92,16 +166,65 @@ func (o *NewtonOptions) logf(format string, args ...any) {
 // line-search globalized, preconditioned, inexact Newton-Krylov scheme.
 // Whether the Hessian is the Gauss-Newton or the full Newton one is
 // selected by the problem options. v0 is the initial guess (it is
-// projected onto the divergence-free space for incompressible problems).
+// projected onto the divergence-free space for incompressible problems,
+// unless the solve resumes from a checkpoint — those iterates are already
+// feasible).
+//
+// The solve is guarded: a non-finite objective or gradient triggers the
+// escalation ladder (rewind to the last good iterate and force one
+// steepest-descent step; give up with Result.Failed after the rewind
+// budget), a PCG breakdown falls back to the preconditioned gradient, and
+// a failed line search on the Newton direction retries once with plain
+// steepest descent. On a fault-free problem none of the guards fire and
+// the trajectory is bit-identical to the unguarded driver.
 func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
-	v := p.Project(v0.Clone())
 	res := &Result[T]{}
-	for iter := 0; ; iter++ {
+	var v T
+	start := 0
+	if opt.Resume != nil {
+		v = v0.Clone()
+		start = opt.Resume.Iter
+		res.JInit = opt.Resume.JInit
+		res.MisfitInit = opt.Resume.MisfitInit
+		res.GnormInit = opt.Resume.GnormInit
+		res.History = append(res.History, opt.Resume.History...)
+	} else {
+		v = p.Project(v0.Clone())
+	}
+	lastGood := v
+	rewinds := 0
+	forceSD := false
+	for iter := start; ; iter++ {
+		if opt.Stop != nil && opt.Stop() {
+			res.Interrupted = true
+			res.Iters = iter
+			res.V = v
+			break
+		}
 		e := p.EvalGradient(v)
-		if iter == 0 {
+		if iter == start && opt.Resume == nil {
 			res.JInit = e.J
 			res.MisfitInit = e.Misfit
 			res.GnormInit = e.Gnorm
+		}
+		if !finite(e.J) || !finite(e.Gnorm) {
+			// Non-finite state: a corrupted transport solve or a blown-up
+			// candidate slipped through. Rewind and degrade, or give up.
+			if rewinds >= opt.maxRewinds() || iter == start {
+				res.Failed = true
+				res.FailReason = fmt.Sprintf("non-finite objective state at iteration %d (J=%v, ||g||=%v)", iter, e.J, e.Gnorm)
+				res.degrade("iter %d: %s; returning last good iterate", iter, res.FailReason)
+				res.Iters = iter
+				res.V = lastGood
+				break
+			}
+			rewinds++
+			res.degrade("iter %d: non-finite state (J=%v, ||g||=%v); rewind %d to last good iterate, forcing steepest descent", iter, e.J, e.Gnorm, rewinds)
+			opt.logf("newton %2d: non-finite state, rewinding (%d/%d)", iter, rewinds, opt.maxRewinds())
+			v = lastGood
+			forceSD = true
+			iter--
+			continue
 		}
 		res.JFinal = e.J
 		res.MisfitLast = e.Misfit
@@ -122,15 +245,29 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 
 		rhs := e.G.Clone()
 		rhs.Scale(-1)
-		dir, cg := PCG(p.HessMatVec, p.ApplyPrec, rhs, eta, opt.MaxKrylov)
+		var dir T
+		var cg CGResult
+		usedSD := false
+		if forceSD {
+			forceSD = false
+			usedSD = true
+			dir = rhs.Clone()
+		} else {
+			dir, cg = PCG(p.HessMatVec, p.ApplyPrec, rhs, eta, opt.MaxKrylov)
+			if cg.Breakdown {
+				res.degrade("iter %d: PCG breakdown after %d iterations (restarts=%d); falling back to preconditioned gradient", iter, cg.Iters, cg.Restarts)
+				dir = p.ApplyPrec(rhs)
+			}
+		}
 		slope := e.G.Dot(dir)
-		if slope >= 0 || (cg.Iters == 0 && cg.Indefinite) {
-			// Not a descent direction (can happen with a truncated solve);
-			// fall back to the preconditioned gradient.
+		if !(slope < 0) || (cg.Iters == 0 && cg.Indefinite) {
+			// Not a descent direction (a truncated or corrupted solve);
+			// fall back to the preconditioned gradient. The negated
+			// comparison also reroutes a NaN slope.
 			dir = p.ApplyPrec(rhs)
 			slope = e.G.Dot(dir)
 		}
-		if slope >= 0 {
+		if !(slope < 0) {
 			// The preconditioned gradient is itself not a descent direction
 			// (an indefinite two-level or shifted preconditioner state): use
 			// plain steepest descent, whose slope -||g||^2 is negative for
@@ -138,13 +275,24 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 			dir = rhs.Clone()
 			slope = e.G.Dot(dir)
 		}
-		if slope >= 0 {
+		if !(slope < 0) {
 			// Only possible when g = 0, which the convergence test already
 			// intercepts; bail out rather than backtrack on a flat model.
 			break
 		}
 
 		alpha, trials, cand := armijo(p, v, dir, e.J, slope, opt)
+		if alpha == 0 && !usedSD {
+			// Escalation: the Newton direction found no acceptable step;
+			// retry once with plain steepest descent before giving up.
+			sd := rhs.Clone()
+			sdSlope := e.G.Dot(sd)
+			if sdSlope < 0 {
+				res.degrade("iter %d: line search failed on the Newton direction; retrying with steepest descent", iter)
+				dir = sd
+				alpha, trials, cand = armijo(p, v, dir, e.J, sdSlope, opt)
+			}
+		}
 		rec := IterRecord{
 			Iter: iter, J: e.J, Misfit: e.Misfit, Gnorm: e.Gnorm,
 			Forcing: eta, CGIters: cg.Iters, Step: alpha, LineTrial: trials,
@@ -159,7 +307,14 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 		// Adopt the accepted candidate object itself (not a recomputed
 		// copy): the objective may have cached the candidate's transport
 		// solve, and the next EvalGradient recognizes it by identity.
+		lastGood = v
 		v = cand
+		if opt.OnIterate != nil {
+			opt.OnIterate(v, Progress{
+				Iter: iter + 1, JInit: res.JInit, MisfitInit: res.MisfitInit,
+				GnormInit: res.GnormInit, History: res.History,
+			})
+		}
 	}
 	return res
 }
@@ -169,15 +324,18 @@ func GaussNewton[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
 // projected onto the feasible space before evaluation, so accepted
 // iterates cannot drift off the divergence-free subspace through
 // accumulated axpy rounding (for unconstrained problems Project is the
-// identity). Returns the accepted step (0 on failure), the number of
-// trials, and the accepted candidate (the zero value on failure).
+// identity). Only finite objective values are accepted: a NaN candidate
+// fails the comparison on its own, and a -Inf candidate (a poisoned eval)
+// would otherwise satisfy any decrease condition. Returns the accepted
+// step (0 on failure), the number of trials, and the accepted candidate
+// (the zero value on failure).
 func armijo[T Vec[T]](p Objective[T], v, dir T, j0, slope float64, opt NewtonOptions) (float64, int, T) {
 	alpha := 1.0
 	for trial := 1; trial <= opt.MaxLineSearch; trial++ {
 		cand := v.Clone()
 		cand.Axpy(alpha, dir)
 		cand = p.Project(cand)
-		if p.Evaluate(cand).J <= j0+opt.ArmijoC1*alpha*slope {
+		if jc := p.Evaluate(cand).J; finite(jc) && jc <= j0+opt.ArmijoC1*alpha*slope {
 			return alpha, trial, cand
 		}
 		alpha /= 2
@@ -188,14 +346,41 @@ func armijo[T Vec[T]](p Objective[T], v, dir T, j0, slope float64, opt NewtonOpt
 
 // SteepestDescent is the first-order baseline the paper contrasts against
 // ("steepest descent methods only have a linear convergence rate"): the
-// search direction is the preconditioned negative gradient.
+// search direction is the preconditioned negative gradient. It honors the
+// same Stop/OnIterate/Resume hooks and non-finite guards as GaussNewton
+// (without the rewind ladder — a first-order step that blows up simply
+// fails).
 func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[T] {
-	v := p.Project(v0.Clone())
 	res := &Result[T]{}
-	for iter := 0; ; iter++ {
+	var v T
+	start := 0
+	if opt.Resume != nil {
+		v = v0.Clone()
+		start = opt.Resume.Iter
+		res.JInit = opt.Resume.JInit
+		res.MisfitInit = opt.Resume.MisfitInit
+		res.GnormInit = opt.Resume.GnormInit
+		res.History = append(res.History, opt.Resume.History...)
+	} else {
+		v = p.Project(v0.Clone())
+	}
+	for iter := start; ; iter++ {
+		if opt.Stop != nil && opt.Stop() {
+			res.Interrupted = true
+			res.Iters = iter
+			res.V = v
+			break
+		}
 		e := p.EvalGradient(v)
-		if iter == 0 {
+		if iter == start && opt.Resume == nil {
 			res.JInit, res.MisfitInit, res.GnormInit = e.J, e.Misfit, e.Gnorm
+		}
+		if !finite(e.J) || !finite(e.Gnorm) {
+			res.Failed = true
+			res.FailReason = fmt.Sprintf("non-finite objective state at iteration %d (J=%v, ||g||=%v)", iter, e.J, e.Gnorm)
+			res.degrade("iter %d: %s", iter, res.FailReason)
+			res.Iters = iter
+			break
 		}
 		res.JFinal, res.MisfitLast, res.GnormLast = e.J, e.Misfit, e.Gnorm
 		res.Iters = iter
@@ -210,12 +395,13 @@ func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[
 		dir := p.ApplyPrec(e.G)
 		dir.Scale(-1)
 		slope := e.G.Dot(dir)
-		if slope >= 0 {
-			// Indefinite preconditioner state: fall back to -g.
+		if !(slope < 0) {
+			// Indefinite preconditioner state (or a NaN slope): fall back
+			// to -g.
 			dir = e.G.Clone()
 			dir.Scale(-1)
 			slope = e.G.Dot(dir)
-			if slope >= 0 {
+			if !(slope < 0) {
 				break
 			}
 		}
@@ -228,6 +414,12 @@ func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[
 			break
 		}
 		v = cand
+		if opt.OnIterate != nil {
+			opt.OnIterate(v, Progress{
+				Iter: iter + 1, JInit: res.JInit, MisfitInit: res.MisfitInit,
+				GnormInit: res.GnormInit, History: res.History,
+			})
+		}
 	}
 	return res
 }
@@ -237,14 +429,55 @@ func SteepestDescent[T Vec[T]](p Objective[T], v0 T, opt NewtonOptions) *Result[
 // solution — the paper's "parameter continuation on beta" for the highly
 // nonlinear regime. setBeta mutates the problem's weight; betas must be
 // decreasing and the problem is left at the last value.
+//
+// When a level fails (non-finite state the guards could not contain), the
+// escalation ladder retries the level once at the geometric mean of the
+// failed beta and its predecessor — "raise beta one continuation level" —
+// restarting from the last good iterate; if the retry fails too, the last
+// good result is returned with the accumulated degradation trail. A
+// Resume state applies to the first level of the schedule only.
 func Continuation[T Vec[T]](p Objective[T], setBeta func(float64), v0 T, betas []float64, opt NewtonOptions) *Result[T] {
 	v := v0
 	var last *Result[T]
-	for _, b := range betas {
+	var degr []string
+	prevBeta := 0.0
+	for li := 0; li < len(betas); li++ {
+		b := betas[li]
 		setBeta(b)
+		if opt.OnLevel != nil {
+			opt.OnLevel(li, b)
+		}
 		opt.logf("continuation: beta=%.3e", b)
 		last = GaussNewton(p, v, opt)
+		opt.Resume = nil // a checkpoint resumes the level it was taken in
+		degr = append(degr, last.Degradations...)
+		if last.Interrupted {
+			break
+		}
+		if last.Failed && prevBeta > b {
+			// Raise beta one (half-)level and retry from the last good
+			// iterate of the previous level.
+			bRetry := math.Sqrt(prevBeta * b)
+			setBeta(bRetry)
+			degr = append(degr, fmt.Sprintf("level %d (beta=%.3e) failed; retrying at beta=%.3e from the previous level's iterate", li, b, bRetry))
+			opt.logf("continuation: level %d failed, retrying at beta=%.3e", li, bRetry)
+			retry := GaussNewton(p, v, opt)
+			degr = append(degr, retry.Degradations...)
+			if retry.Failed || retry.Interrupted {
+				retry.Degradations = degr
+				return retry
+			}
+			last = retry
+			b = bRetry
+		}
+		if last.Failed {
+			break
+		}
 		v = last.V
+		prevBeta = b
+	}
+	if last != nil {
+		last.Degradations = degr
 	}
 	return last
 }

@@ -9,6 +9,18 @@
 // and time-varying velocity series (field.Series).
 package optim
 
+import "math"
+
+// finite reports whether x is neither NaN nor an infinity.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// pcgDivergeFactor flags a diverging solve: CG on an SPD system is
+// monotone in the A-norm, so a residual growing by orders of magnitude
+// means the operator or preconditioner is corrupted.
+const pcgDivergeFactor = 1e8
+
 // CGResult reports how a PCG solve went.
 type CGResult struct {
 	Iters     int
@@ -17,6 +29,14 @@ type CGResult struct {
 	// Indefinite is set when a direction of non-positive curvature was
 	// encountered; the current iterate is returned (truncated CG).
 	Indefinite bool
+	// Breakdown is set when the recurrence produced a non-finite quantity
+	// or the residual diverged — the footprint of a corrupted matvec or
+	// preconditioner. The last finite iterate is returned (the zero vector
+	// if the very first step broke down).
+	Breakdown bool
+	// Restarts counts recovery attempts after a breakdown (at most one:
+	// the solve is retried without the preconditioner).
+	Restarts int
 }
 
 // PCG solves A x = b with preconditioned conjugate gradients, starting
@@ -24,7 +44,24 @@ type CGResult struct {
 // subspace and prec an SPD approximation of its inverse. The solve stops
 // when the residual norm drops below rtol times the initial residual norm
 // (inexact Newton: rtol is the forcing term) or after maxIter iterations.
+// A breakdown (non-finite recurrence or diverging residual) before any
+// progress triggers one restart with the identity preconditioner, which
+// rescues the step when the preconditioner is the corrupted operator.
 func PCG[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, CGResult) {
+	x, res := pcgRun(matvec, prec, b, rtol, maxIter)
+	if res.Breakdown && res.Iters == 0 {
+		x2, res2 := pcgRun(matvec, func(r T) T { return r.Clone() }, b, rtol, maxIter)
+		res2.Restarts = 1
+		if !res2.Breakdown {
+			return x2, res2
+		}
+		res.Restarts = 1
+	}
+	return x, res
+}
+
+// pcgRun is one unguarded-restart-free PCG pass with breakdown detection.
+func pcgRun[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, CGResult) {
 	x := b.Clone()
 	x.Scale(0)
 	r := b.Clone() // r = b - A*0
@@ -34,12 +71,24 @@ func PCG[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, C
 		res.Converged = true
 		return x, res
 	}
+	if !finite(bnorm) {
+		res.Breakdown = true
+		return x, res
+	}
 	z := prec(r)
 	p := z.Clone()
 	rz := r.Dot(z)
+	if !finite(rz) {
+		res.Breakdown = true
+		return x, res
+	}
 	for res.Iters = 0; res.Iters < maxIter; res.Iters++ {
 		ap := matvec(p)
 		pap := p.Dot(ap)
+		if !finite(pap) {
+			res.Breakdown = true
+			break
+		}
 		if pap <= 0 {
 			res.Indefinite = true
 			break
@@ -49,6 +98,13 @@ func PCG[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, C
 		r.Axpy(-alpha, ap)
 		rn := r.NormL2()
 		res.RelRes = rn / bnorm
+		if !finite(rn) || res.RelRes > pcgDivergeFactor {
+			// Roll the corrupted update back so the caller still gets the
+			// last finite truncated iterate.
+			x.Axpy(-alpha, p)
+			res.Breakdown = true
+			break
+		}
 		if res.RelRes <= rtol {
 			res.Iters++
 			res.Converged = true
@@ -56,6 +112,10 @@ func PCG[T Vec[T]](matvec, prec func(T) T, b T, rtol float64, maxIter int) (T, C
 		}
 		z = prec(r)
 		rzNew := r.Dot(z)
+		if !finite(rzNew) {
+			res.Breakdown = true
+			break
+		}
 		beta := rzNew / rz
 		rz = rzNew
 		// p = z + beta*p

@@ -225,7 +225,9 @@ func Figure4() (Report, error) {
 		}
 		plan := pfft.NewPlan(pe)
 		local := make([]float64, pe.LocalTotal())
-		plan.Forward(local)
+		if _, err := plan.Forward(local); err != nil {
+			return err
+		}
 		return nil
 	})
 	if err != nil {

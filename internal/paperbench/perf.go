@@ -94,12 +94,12 @@ func Perf() (Report, error) {
 
 		snap.Cases = append(snap.Cases,
 			measurePerf("fft_roundtrip_alloc", 8, 4, func() {
-				s := pl.Forward(src)
-				_ = pl.Inverse(s)
+				s, _ := pl.Forward(src)
+				_, _ = pl.Inverse(s)
 			}),
 			measurePerf("fft_roundtrip_into", 8, 4, func() {
-				pl.ForwardInto(src, spec)
-				pl.InverseInto(spec, back)
+				_ = pl.ForwardInto(src, spec)
+				_ = pl.InverseInto(spec, back)
 			}),
 			measurePerf("leray_alloc", 4, 2, func() { _ = ops.Leray(v) }),
 			measurePerf("leray_inplace", 4, 2, func() { ops.LerayInPlace(v) }),
@@ -128,10 +128,14 @@ func Perf() (Report, error) {
 			}
 		}
 		before := *c.Stats()
-		pl.ForwardBatch(srcs)
+		if _, err := pl.ForwardBatch(srcs); err != nil {
+			return err
+		}
 		mid := *c.Stats()
 		for _, s := range srcs {
-			pl.Forward(s)
+			if _, err := pl.Forward(s); err != nil {
+				return err
+			}
 		}
 		after := *c.Stats()
 		if c.Rank() == 0 {

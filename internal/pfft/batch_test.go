@@ -39,9 +39,9 @@ func TestBatchBitIdentical(t *testing.T) {
 			srcs := batchFields(pe, 3)
 			var want [][]complex128
 			for _, s := range srcs {
-				want = append(want, pl.Forward(s))
+				want = append(want, mustFwd(pl, s))
 			}
-			got := pl.ForwardBatch(srcs)
+			got := mustFwdB(pl, srcs)
 			for b := range want {
 				for i := range want[b] {
 					if got[b][i] != want[b][i] {
@@ -51,9 +51,9 @@ func TestBatchBitIdentical(t *testing.T) {
 					}
 				}
 			}
-			backB := pl.InverseBatch(got)
+			backB := mustInvB(pl, got)
 			for b := range want {
-				back := pl.Inverse(want[b])
+				back := mustInv(pl, want[b])
 				for i := range back {
 					if backB[b][i] != back[i] {
 						t.Errorf("p=%d field %d back[%d]: batched %v != single %v",
@@ -85,7 +85,7 @@ func TestBatchParseval(t *testing.T) {
 			}
 			pl := NewPlan(pe)
 			srcs := batchFields(pe, 3)
-			specs := pl.ForwardBatch(srcs)
+			specs := mustFwdB(pl, srcs)
 			for b := range srcs {
 				sumX := 0.0
 				for _, v := range srcs[b] {
@@ -129,11 +129,11 @@ func TestRoundTripZeroAllocs(t *testing.T) {
 		src := batchFields(pe, 1)[0]
 		spec := make([]complex128, pl.SpecLocalTotal())
 		back := make([]float64, pe.LocalTotal())
-		pl.ForwardInto(src, spec) // warm the workspace
-		pl.InverseInto(spec, back)
+		mustNil(pl.ForwardInto(src, spec)) // warm the workspace
+		mustNil(pl.InverseInto(spec, back))
 		allocs := testing.AllocsPerRun(10, func() {
-			pl.ForwardInto(src, spec)
-			pl.InverseInto(spec, back)
+			mustNil(pl.ForwardInto(src, spec))
+			mustNil(pl.InverseInto(spec, back))
 		})
 		if allocs != 0 {
 			t.Errorf("round trip allocates %v times per run, want 0", allocs)
@@ -159,7 +159,7 @@ func TestBatchedTransposeCounters(t *testing.T) {
 		pl := NewPlan(pe)
 		srcs := batchFields(pe, 3)
 		before := *c.Stats()
-		pl.ForwardBatch(srcs)
+		mustFwdB(pl, srcs)
 		after := c.Stats()
 		if d := after.Alltoalls - before.Alltoalls; d != 2 {
 			t.Errorf("batched forward issued %d all-to-alls, want 2", d)
@@ -193,7 +193,7 @@ func TestBatchedTransferSpectrum(t *testing.T) {
 			return err
 		}
 		plF, plC := NewPlan(peF), NewPlan(peC)
-		specs := plF.ForwardBatch(batchFields(peF, 3))
+		specs := mustFwdB(plF, batchFields(peF, 3))
 		var want [][]complex128
 		for _, s := range specs {
 			want = append(want, TransferSpectrum(plF, plC, s))
@@ -232,7 +232,7 @@ func TestWorkspaceSerialParallelIdentical(t *testing.T) {
 				return err
 			}
 			pl := NewPlan(pe)
-			out = pl.ForwardBatch(batchFields(pe, 3))
+			out = mustFwdB(pl, batchFields(pe, 3))
 			return nil
 		})
 		if err != nil {

@@ -17,6 +17,7 @@
 package pfft
 
 import (
+	"fmt"
 	"time"
 
 	"diffreg/internal/fft"
@@ -217,6 +218,15 @@ func max(a, b int) int {
 	return b
 }
 
+// invariant is the single internal panic of the package. It fires only on
+// conditions that caller input cannot produce (argument validation has
+// already passed): the transpose pipeline failing to land on the
+// precomputed spectral/pencil layout is a bug in the plan itself, never a
+// usage error.
+func invariant(format string, args ...any) {
+	panic("pfft: internal invariant violated: " + fmt.Sprintf(format, args...))
+}
+
 // SpecDims returns the local dimensions of the spectral array.
 func (pl *Plan) SpecDims() [3]int { return pl.specDim }
 
@@ -288,46 +298,58 @@ func (pl *Plan) EachSpecPar(fn func(idx, k1, k2, k3 int)) {
 
 // Forward computes the unnormalized 3D r2c transform of the local real
 // pencil (dims Local(0) x Local(1) x N3) and returns the local spectral
-// block in the layout described by SpecDims.
-func (pl *Plan) Forward(src []float64) []complex128 {
+// block in the layout described by SpecDims. It errors on a source of the
+// wrong local length.
+func (pl *Plan) Forward(src []float64) ([]complex128, error) {
 	dst := make([]complex128, pl.SpecLocalTotal())
-	pl.ForwardInto(src, dst)
-	return dst
+	if err := pl.ForwardInto(src, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // ForwardInto is Forward writing into a caller-provided spectral block;
 // it performs zero heap allocations after workspace warmup (the in-process
-// all-to-all still allocates on multi-rank communicators).
-func (pl *Plan) ForwardInto(src []float64, dst []complex128) {
+// all-to-all still allocates on multi-rank communicators). It errors on
+// mis-sized arguments before any communication happens.
+func (pl *Plan) ForwardInto(src []float64, dst []complex128) error {
 	pl.oneReal[0] = src
 	pl.oneSpec[0] = dst
-	pl.ForwardBatchInto(pl.oneReal[:], pl.oneSpec[:])
+	err := pl.ForwardBatchInto(pl.oneReal[:], pl.oneSpec[:])
 	pl.oneReal[0] = nil
 	pl.oneSpec[0] = nil
+	return err
 }
 
 // ForwardBatch transforms B fields together, fusing each transpose into a
 // single all-to-all (one latency term for the whole batch).
-func (pl *Plan) ForwardBatch(srcs [][]float64) [][]complex128 {
+func (pl *Plan) ForwardBatch(srcs [][]float64) ([][]complex128, error) {
 	dsts := make([][]complex128, len(srcs))
 	for b := range dsts {
 		dsts[b] = make([]complex128, pl.SpecLocalTotal())
 	}
-	pl.ForwardBatchInto(srcs, dsts)
-	return dsts
+	if err := pl.ForwardBatchInto(srcs, dsts); err != nil {
+		return nil, err
+	}
+	return dsts, nil
 }
 
 // ForwardBatchInto is ForwardBatch into caller-provided spectral blocks.
-// Every dsts[b] must have length SpecLocalTotal.
-func (pl *Plan) ForwardBatchInto(srcs [][]float64, dsts [][]complex128) {
+// Every srcs[b] must have the local pencil length and every dsts[b] length
+// SpecLocalTotal; violations are reported as errors before any
+// communication happens, so no rank is left blocked in a transpose.
+func (pl *Plan) ForwardBatchInto(srcs [][]float64, dsts [][]complex128) error {
 	pe := pl.Pe
 	B := len(srcs)
 	if len(dsts) != B {
-		panic("pfft: batch src/dst count mismatch")
+		return fmt.Errorf("pfft: forward batch: %d sources but %d destinations", B, len(dsts))
 	}
 	for b := 0; b < B; b++ {
-		if len(srcs[b]) != pe.LocalTotal() || len(dsts[b]) != pl.SpecLocalTotal() {
-			panic("pfft: batch field length mismatch")
+		if len(srcs[b]) != pe.LocalTotal() {
+			return fmt.Errorf("pfft: forward batch field %d: source length %d, want local pencil %d", b, len(srcs[b]), pe.LocalTotal())
+		}
+		if len(dsts[b]) != pl.SpecLocalTotal() {
+			return fmt.Errorf("pfft: forward batch field %d: destination length %d, want spectral block %d", b, len(dsts[b]), pl.SpecLocalTotal())
 		}
 	}
 	pl.ensureBatch(B)
@@ -389,50 +411,63 @@ func (pl *Plan) ForwardBatchInto(srcs [][]float64, dsts [][]complex128) {
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 
 	if dims != pl.specDim {
-		panic("pfft: spectral dims mismatch")
+		invariant("forward pipeline ended on dims %v, want spectral layout %v", dims, pl.specDim)
 	}
 	st.srcs, st.cur = nil, nil
+	return nil
 }
 
 // Inverse computes the normalized inverse transform of a local spectral
-// block back to the local real pencil. The input is not modified.
-func (pl *Plan) Inverse(spec []complex128) []float64 {
+// block back to the local real pencil. The input is not modified. It
+// errors on a spectrum of the wrong local length.
+func (pl *Plan) Inverse(spec []complex128) ([]float64, error) {
 	out := make([]float64, pl.Pe.LocalTotal())
-	pl.InverseInto(spec, out)
-	return out
+	if err := pl.InverseInto(spec, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // InverseInto is Inverse writing into a caller-provided real pencil; it
-// performs zero heap allocations after workspace warmup.
-func (pl *Plan) InverseInto(spec []complex128, dst []float64) {
+// performs zero heap allocations after workspace warmup. It errors on
+// mis-sized arguments before any communication happens.
+func (pl *Plan) InverseInto(spec []complex128, dst []float64) error {
 	pl.oneSpec[0] = spec
 	pl.oneReal[0] = dst
-	pl.InverseBatchInto(pl.oneSpec[:], pl.oneReal[:])
+	err := pl.InverseBatchInto(pl.oneSpec[:], pl.oneReal[:])
 	pl.oneSpec[0] = nil
 	pl.oneReal[0] = nil
+	return err
 }
 
 // InverseBatch inverts B spectral blocks together with fused transposes.
 // The inputs are not modified.
-func (pl *Plan) InverseBatch(specs [][]complex128) [][]float64 {
+func (pl *Plan) InverseBatch(specs [][]complex128) ([][]float64, error) {
 	outs := make([][]float64, len(specs))
 	for b := range outs {
 		outs[b] = make([]float64, pl.Pe.LocalTotal())
 	}
-	pl.InverseBatchInto(specs, outs)
-	return outs
+	if err := pl.InverseBatchInto(specs, outs); err != nil {
+		return nil, err
+	}
+	return outs, nil
 }
 
 // InverseBatchInto is InverseBatch into caller-provided real pencils.
-func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) {
+// Mis-sized arguments are reported as errors before any communication
+// happens, so no rank is left blocked in a transpose.
+func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) error {
 	pe := pl.Pe
 	B := len(specs)
 	if len(outs) != B {
-		panic("pfft: batch src/dst count mismatch")
+		return fmt.Errorf("pfft: inverse batch: %d spectra but %d outputs", B, len(outs))
 	}
 	for b := 0; b < B; b++ {
-		if len(specs[b]) != pl.SpecLocalTotal() || len(outs[b]) != pe.LocalTotal() {
-			panic("pfft: batch field length mismatch")
+		if len(specs[b]) != pl.SpecLocalTotal() {
+			return fmt.Errorf("pfft: inverse batch field %d: spectrum length %d, want spectral block %d", b, len(specs[b]), pl.SpecLocalTotal())
+		}
+		if len(outs[b]) != pe.LocalTotal() {
+			return fmt.Errorf("pfft: inverse batch field %d: output length %d, want local pencil %d", b, len(outs[b]), pe.LocalTotal())
 		}
 	}
 	pl.ensureBatch(B)
@@ -483,7 +518,7 @@ func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) {
 		cur = nxt
 	}
 	if dims != pl.dimsA {
-		panic("pfft: pencil dims mismatch")
+		invariant("inverse pipeline ended on dims %v, want pencil layout %v", dims, pl.dimsA)
 	}
 
 	t0 = time.Now()
@@ -491,6 +526,7 @@ func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) {
 	par.ForChunks(B*st.lines, lineGrain, pl.fnRealInv)
 	pe.Comm.AddExec(mpi.PhaseFFTExec, time.Since(t0).Seconds())
 	st.outs, st.cur = nil, nil
+	return nil
 }
 
 // reshuffleBatch redistributes the B per-field blocks src within comm:

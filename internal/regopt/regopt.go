@@ -138,6 +138,12 @@ type Eval struct {
 	RegE   float64 // beta/2 * seminorm
 	G      *field.Vector
 	Gnorm  float64
+
+	// Poisoned marks an evaluation of a non-finite velocity: no transport
+	// was attempted (Ctx is nil), J is +Inf so any line search rejects the
+	// candidate, and the gradient is NaN-normed so the optimizer's guards
+	// trip instead of a solver deep in the transport stack.
+	Poisoned bool
 }
 
 // regApply applies the regularization operator A (without beta).
@@ -167,6 +173,17 @@ func (p *Problem) Project(v *field.Vector) *field.Vector {
 // transient, so the §III-C4 memory accounting is unchanged in steady
 // state.
 func (p *Problem) Evaluate(v *field.Vector) *Eval {
+	// Collective finiteness pre-check: a non-finite velocity (a corrupted
+	// Krylov step or line-search candidate) would otherwise surface as a
+	// BadPointError deep in the semi-Lagrangian plan and abort the world.
+	// Poisoning the evaluation instead keeps the failure inside the
+	// optimizer, where the guard ladder can recover. The check is an
+	// allreduce, so every rank takes the same branch.
+	if !v.AllFinite() {
+		e := &Eval{V: v, Poisoned: true, J: math.Inf(1), Misfit: math.Inf(1)}
+		p.lastEval = e
+		return e
+	}
 	e := &Eval{V: v}
 	e.Ctx = p.TS.NewContext(v, p.Opt.Incompressible)
 	e.States = p.TS.State(e.Ctx, p.RhoT)
@@ -221,6 +238,14 @@ func (p *Problem) divGamma() float64 {
 // subsequent Hessian matvecs of this Newton iteration.
 func (p *Problem) EvalGradient(v *field.Vector) *Eval {
 	e := p.cachedEval(v)
+	if e.Poisoned {
+		// No transport state exists; report a NaN gradient norm (tripping
+		// the optimizer's non-finite guard) and skip the preconditioner
+		// refresh paths, which need a valid evaluation point.
+		e.G = field.NewVector(p.Pe)
+		e.Gnorm = math.NaN()
+		return e
+	}
 	lamT := p.Opt.dist().TerminalAdjoint(p.rho1Of(e.States), p.RhoR)
 	e.Lambdas = p.TS.Adjoint(e.Ctx, lamT)
 	p.AdjointSolves++

@@ -1,6 +1,8 @@
 package semilag
 
 import (
+	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -10,6 +12,23 @@ import (
 	"diffreg/internal/mpi"
 	"diffreg/internal/par"
 )
+
+// BadPointError reports a non-finite semi-Lagrangian departure point —
+// the footprint of a corrupted velocity field. It is raised through
+// mpi.Raise, so it surfaces from mpi.Run wrapped and matchable with
+// errors.As, and the world aborts instead of indexing out of the ghost
+// layer or hanging peers in the scatter exchange.
+type BadPointError struct {
+	Rank  int        // world rank that owned the query point
+	Index int        // local query point index
+	Coord [3]float64 // offending coordinates, in global grid-index space
+}
+
+// Error implements error.
+func (e *BadPointError) Error() string {
+	return fmt.Sprintf("semilag: non-finite departure point %d on rank %d: (%g, %g, %g) — corrupted velocity?",
+		e.Index, e.Rank, e.Coord[0], e.Coord[1], e.Coord[2])
+}
 
 // interpGrain is the pool chunk granularity for tricubic point evaluation:
 // one item is a 64-coefficient stencil (~600 flops), so a few hundred
@@ -60,6 +79,20 @@ func NewPlan(pe *grid.Pencil, pts [3][]float64) *Plan {
 		x1 := wrapCoord(pts[0][q], n[0])
 		x2 := wrapCoord(pts[1][q], n[1])
 		x3 := wrapCoord(pts[2][q], n[2])
+		// A corrupted velocity (NaN/Inf after a comm fault or numerical
+		// blow-up) produces non-finite departure points, which would index
+		// outside the ghost layer downstream. Reject before any exchange;
+		// the raise aborts the world so peer ranks already inside the
+		// Alltoallv unwind instead of hanging.
+		if !(x1 >= 0 && x1 < float64(n[0])) ||
+			!(x2 >= 0 && x2 < float64(n[1])) ||
+			!(x3 >= 0 && x3 < float64(n[2])) {
+			mpi.Raise(&BadPointError{
+				Rank:  pe.Comm.WorldRank(),
+				Index: q,
+				Coord: [3]float64{pts[0][q], pts[1][q], pts[2][q]},
+			})
+		}
 		j1, _ := interp.SplitIndex(x1, n[0])
 		j2, _ := interp.SplitIndex(x2, n[1])
 		owner := pe.OwnerOf(j1, j2)
@@ -111,13 +144,18 @@ func (pl *Plan) buildOrder() {
 	}
 }
 
-// wrapCoord maps a continuous coordinate into [0, n).
+// wrapCoord maps a continuous coordinate into [0, n) in O(1). A non-finite
+// input stays non-finite (math.Mod of NaN/Inf is NaN) and is rejected by
+// the range validation in NewPlan — the old repeated-subtraction wrap
+// looped forever on -Inf and effectively forever on huge finite values.
 func wrapCoord(x float64, n int) float64 {
 	fn := float64(n)
-	for x < 0 {
+	x = math.Mod(x, fn)
+	if x < 0 {
 		x += fn
 	}
-	for x >= fn {
+	if x >= fn {
+		// x was a tiny negative whose wrap rounded to fn exactly.
 		x -= fn
 	}
 	return x

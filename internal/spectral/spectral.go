@@ -27,6 +27,16 @@ import (
 	"diffreg/internal/pfft"
 )
 
+// must asserts an error-free pfft entry-point call. Every transform issued
+// by this package passes plan-owned or field-owned buffers whose lengths
+// are correct by construction, so an error here is unreachable through the
+// public API; must documents that and turns a plan bug into a loud stop.
+func must(err error) {
+	if err != nil {
+		panic("spectral: " + err.Error())
+	}
+}
+
 // Ops bundles the FFT plan with the operator implementations, the symbol
 // tables, and the reusable spectral workspace. An Ops value is owned by one
 // rank goroutine (like its Plan) and must not be shared concurrently.
@@ -178,7 +188,7 @@ func (o *Ops) forwardVec(v *field.Vector) {
 		o.hdrR[d] = v.C[d].Data
 		o.hdrC[d] = o.spec[d]
 	}
-	o.Plan.ForwardBatchInto(o.hdrR[:], o.hdrC[:])
+	must(o.Plan.ForwardBatchInto(o.hdrR[:], o.hdrC[:]))
 }
 
 // inverseVec transforms the spec workspace back into the components of dst.
@@ -187,7 +197,7 @@ func (o *Ops) inverseVec(dst *field.Vector) {
 		o.hdrC[d] = o.spec[d]
 		o.hdrR[d] = dst.C[d].Data
 	}
-	o.Plan.InverseBatchInto(o.hdrC[:], o.hdrR[:])
+	must(o.Plan.InverseBatchInto(o.hdrC[:], o.hdrR[:]))
 }
 
 // modes runs a retained kernel over the local mode range on the pool.
@@ -206,23 +216,29 @@ func derivFactor(k, n int) complex128 {
 }
 
 // Forward transforms a scalar field to its local spectral block.
-func (o *Ops) Forward(s *field.Scalar) []complex128 { return o.Plan.Forward(s.Data) }
+func (o *Ops) Forward(s *field.Scalar) []complex128 {
+	spec, err := o.Plan.Forward(s.Data)
+	if err != nil {
+		must(err)
+	}
+	return spec
+}
 
 // InverseInto transforms a spectral block back into the scalar field dst.
 func (o *Ops) InverseInto(spec []complex128, dst *field.Scalar) {
-	o.Plan.InverseInto(spec, dst.Data)
+	must(o.Plan.InverseInto(spec, dst.Data))
 }
 
 // DiagScalar applies the real diagonal symbol f(k1,k2,k3) to a scalar
 // field, returning a new field.
 func (o *Ops) DiagScalar(s *field.Scalar, f func(k1, k2, k3 int) float64) *field.Scalar {
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec := o.scal
 	o.Plan.EachSpecPar(func(idx, k1, k2, k3 int) {
 		spec[idx] *= complex(f(k1, k2, k3), 0)
 	})
 	out := field.NewScalar(o.Pe)
-	o.Plan.InverseInto(spec, out.Data)
+	must(o.Plan.InverseInto(spec, out.Data))
 	return out
 }
 
@@ -269,7 +285,7 @@ func (o *Ops) Grad(s *field.Scalar) *field.Vector {
 // GradInto is Grad writing into a caller-provided vector field; it performs
 // zero heap allocations after workspace warmup.
 func (o *Ops) GradInto(s *field.Scalar, out *field.Vector) {
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	o.modes(o.fnGrad)
 	o.inverseVec(out)
 }
@@ -286,12 +302,12 @@ func (o *Ops) Div(v *field.Vector) *field.Scalar {
 func (o *Ops) DivInto(v *field.Vector, out *field.Scalar) {
 	o.forwardVec(v)
 	o.modes(o.fnDiv)
-	o.Plan.InverseInto(o.spec[0], out.Data)
+	must(o.Plan.InverseInto(o.spec[0], out.Data))
 }
 
 // Lap returns the Laplacian of a scalar field (symbol -|k|^2).
 func (o *Ops) Lap(s *field.Scalar) *field.Scalar {
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec, tab := o.scal, o.ksqT
 	par.For(len(spec), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
@@ -299,14 +315,14 @@ func (o *Ops) Lap(s *field.Scalar) *field.Scalar {
 		}
 	})
 	out := field.NewScalar(o.Pe)
-	o.Plan.InverseInto(spec, out.Data)
+	must(o.Plan.InverseInto(spec, out.Data))
 	return out
 }
 
 // InvLap returns the zero-mean solution of lap(u) = s; the k=0 mode is
 // projected out (the standard pseudo-inverse on the torus).
 func (o *Ops) InvLap(s *field.Scalar) *field.Scalar {
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec, tab := o.scal, o.ksqT
 	par.For(len(spec), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
@@ -319,7 +335,7 @@ func (o *Ops) InvLap(s *field.Scalar) *field.Scalar {
 		}
 	})
 	out := field.NewScalar(o.Pe)
-	o.Plan.InverseInto(spec, out.Data)
+	must(o.Plan.InverseInto(spec, out.Data))
 	return out
 }
 
@@ -422,7 +438,7 @@ func (o *Ops) GradDivInPlace(v *field.Vector) {
 // sigma equal to one grid cell (bandwidth 2*pi/N) to make raw images
 // spectrally differentiable.
 func (o *Ops) GaussianSmooth(s *field.Scalar, sigma [3]float64) {
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec := o.scal
 	k0, k1, k2 := o.kw[0], o.kw[1], o.kw[2]
 	par.For(len(spec), func(lo, hi int) {
@@ -433,7 +449,7 @@ func (o *Ops) GaussianSmooth(s *field.Scalar, sigma [3]float64) {
 			spec[idx] *= complex(math.Exp(-e/2), 0)
 		}
 	})
-	o.Plan.InverseInto(spec, s.Data)
+	must(o.Plan.InverseInto(spec, s.Data))
 }
 
 // SmoothGridScale smooths with the paper's default bandwidth of one grid
@@ -450,14 +466,14 @@ func (o *Ops) SmoothGridScale(s *field.Scalar) {
 			o.gaus[idx] = math.Exp(-e / 2)
 		}
 	}
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec, tab := o.scal, o.gaus
 	par.For(len(spec), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			spec[idx] *= complex(tab[idx], 0)
 		}
 	})
-	o.Plan.InverseInto(spec, s.Data)
+	must(o.Plan.InverseInto(spec, s.Data))
 }
 
 func ksq(k1, k2, k3 int) float64 {
@@ -478,10 +494,10 @@ func kfilt(k, n int) float64 {
 // prolongation when finer) without any gather: the shared Fourier modes
 // are routed directly to their destination owners.
 func Resample(src, dst *Ops, s *field.Scalar) *field.Scalar {
-	src.Plan.ForwardInto(s.Data, src.scal)
+	must(src.Plan.ForwardInto(s.Data, src.scal))
 	moved := pfft.TransferSpectrum(src.Plan, dst.Plan, src.scal)
 	out := field.NewScalar(dst.Pe)
-	dst.Plan.InverseInto(moved, out.Data)
+	must(dst.Plan.InverseInto(moved, out.Data))
 	return out
 }
 
@@ -499,7 +515,7 @@ func ResampleVector(src, dst *Ops, v *field.Vector) *field.Vector {
 		dst.hdrC[d] = moved[d]
 		dst.hdrR[d] = out.C[d].Data
 	}
-	dst.Plan.InverseBatchInto(dst.hdrC[:], dst.hdrR[:])
+	must(dst.Plan.InverseBatchInto(dst.hdrC[:], dst.hdrR[:]))
 	return out
 }
 
@@ -515,12 +531,12 @@ func (o *Ops) BSplinePrefilter(s *field.Scalar) {
 			o.bsp[idx] = interp.BSplineSymbol(k1, n[0]) * interp.BSplineSymbol(k2, n[1]) * interp.BSplineSymbol(k3, n[2])
 		})
 	}
-	o.Plan.ForwardInto(s.Data, o.scal)
+	must(o.Plan.ForwardInto(s.Data, o.scal))
 	spec, tab := o.scal, o.bsp
 	par.For(len(spec), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			spec[idx] /= complex(tab[idx], 0)
 		}
 	})
-	o.Plan.InverseInto(spec, s.Data)
+	must(o.Plan.InverseInto(spec, s.Data))
 }
