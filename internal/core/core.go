@@ -47,7 +47,8 @@ type Config struct {
 	// nil means the zero velocity.
 	V0 *field.Vector
 	// Checkpoint configures periodic checkpoint/restart of the optimizer
-	// state (stationary velocity solves only).
+	// state (checkpoint writes and resume require a stationary velocity;
+	// the cooperative Stop hook works for every solve flavor).
 	Checkpoint CheckpointConfig
 }
 
@@ -164,7 +165,22 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 	betas := cfg.ContinuationBetas
 	var ckptErr error
 	var saveState func(v *field.Vector, prog optim.Progress)
-	if ck.Path != "" || ck.Resume != nil || ck.Stop != nil {
+	if ck.Stop != nil {
+		// The cooperative interrupt is independent of checkpoint I/O and
+		// works for every solve flavor, including Intervals > 1.
+		stop := ck.Stop
+		cfg.Newton.Stop = func() bool {
+			local := 0.0
+			if stop() {
+				local = 1
+			}
+			// Collective resolution: a signal may land between the polls
+			// of different rank goroutines, so every rank must agree on
+			// whether this iteration stops.
+			return pe.Comm.AllreduceMax(local) > 0
+		}
+	}
+	if ck.Path != "" || ck.Resume != nil {
 		if cfg.Intervals > 1 {
 			return nil, fmt.Errorf("core: checkpoint/restart requires a stationary velocity (Intervals = 1)")
 		}
@@ -194,21 +210,15 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 				if levelOffset >= len(betas) {
 					levelOffset = len(betas) - 1
 				}
-				betas = betas[levelOffset:]
-				curLevel, curBeta = levelOffset, rs.Beta
-			}
-		}
-		if ck.Stop != nil {
-			stop := ck.Stop
-			cfg.Newton.Stop = func() bool {
-				local := 0.0
-				if stop() {
-					local = 1
+				betas = append([]float64(nil), betas[levelOffset:]...)
+				if rs.Beta > 0 {
+					// Honor the beta the checkpoint was taken at: a retry
+					// after a failed level runs at the geometric-mean beta,
+					// not the schedule entry, and the resumed trajectory
+					// must continue at the active value.
+					betas[0] = rs.Beta
 				}
-				// Collective resolution: a signal may land between the polls
-				// of different rank goroutines, so every rank must agree on
-				// whether this iteration stops.
-				return pe.Comm.AllreduceMax(local) > 0
+				curLevel, curBeta = levelOffset, rs.Beta
 			}
 		}
 		saveState = func(v *field.Vector, prog optim.Progress) {
@@ -281,9 +291,11 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 			MisfitInit: sres.MisfitInit, MisfitLast: sres.MisfitLast,
 			GnormInit: sres.GnormInit, GnormLast: sres.GnormLast,
 			Converged: sres.Converged, History: sres.History,
+			Interrupted: sres.Interrupted, Failed: sres.Failed,
+			FailReason: sres.FailReason, Degradations: sres.Degradations,
 		}
 		out.V = sres.V[0]
-		if !cfg.SkipMap {
+		if !cfg.SkipMap && !sres.Interrupted && !sres.Failed {
 			sc, err := ts.NewSeriesContext(sres.V, cfg.Opt.Incompressible)
 			if err != nil {
 				return nil, err

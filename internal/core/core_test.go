@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"diffreg/internal/ckpt"
 	"diffreg/internal/field"
 	"diffreg/internal/grid"
 	"diffreg/internal/imaging"
@@ -309,6 +310,83 @@ func TestRegisterMultilevelValidates(t *testing.T) {
 		cfg.Intervals = 2
 		if _, _, err := RegisterMultilevel(pe, s, s, cfg, 2); err == nil {
 			t.Error("time-varying multilevel accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterTimeVaryingStopHook: the cooperative Stop hook is
+// independent of checkpoint I/O, so installing it must not trip the
+// stationary-velocity restriction for Intervals > 1 (regression: the
+// regsolve signal handler always installs Stop, which used to fail every
+// time-varying solve at startup). A firing stop must surface as an
+// interrupted result with no deformation map.
+func TestRegisterTimeVaryingStopHook(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Intervals = 2
+	cfg.Newton.MaxIters = 2
+	cfg.Checkpoint.Stop = func() bool { return false }
+	runSynthetic(t, 16, 1, cfg, func(pe *grid.Pencil, out *Outcome) error {
+		if out.Result.Interrupted {
+			t.Error("non-firing Stop hook interrupted the solve")
+		}
+		return nil
+	})
+
+	cfg = DefaultConfig()
+	cfg.Intervals = 2
+	polls := 0
+	cfg.Checkpoint.Stop = func() bool { polls++; return polls > 1 }
+	runSynthetic(t, 16, 1, cfg, func(pe *grid.Pencil, out *Outcome) error {
+		if !out.Result.Interrupted {
+			t.Error("firing Stop hook did not interrupt the time-varying solve")
+		}
+		if out.U != nil {
+			t.Error("interrupted solve must skip map reconstruction")
+		}
+		return nil
+	})
+}
+
+// TestRegisterResumeHonorsCheckpointBeta: a resumed continuation solve
+// must run at the beta recorded in the checkpoint — which after a failed
+// level is the geometric-mean retry value — not the original schedule
+// entry of that level.
+func TestRegisterResumeHonorsCheckpointBeta(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		ops := spectral.New(pfft.NewPlan(pe))
+		rhoT := imaging.SyntheticTemplate(pe)
+		vStar := imaging.SyntheticVelocity(pe)
+		rhoR := imaging.MakeReference(ops, rhoT, vStar, 4, false)
+		const retryBeta = 0.05 // between schedule levels 1e-1 and 1e-2
+		st := &ckpt.State{
+			N: pe.Grid.N, Tasks: 1,
+			Beta: retryBeta, BetaLevel: 1, Iter: 1,
+			JInit: 1, MisfitInit: 1, GnormInit: 1,
+		}
+		n := pe.Grid.N[0] * pe.Grid.N[1] * pe.Grid.N[2]
+		for d := 0; d < 3; d++ {
+			st.V[d] = make([]float64, n)
+		}
+		cfg := DefaultConfig()
+		cfg.ContinuationBetas = []float64{1e-1, 1e-2}
+		cfg.Newton.MaxIters = 2
+		cfg.SkipMap = true
+		cfg.Checkpoint.Resume = st
+		out, err := Register(pe, rhoT, rhoR, cfg)
+		if err != nil {
+			return err
+		}
+		if got := out.Problem.Opt.Beta; got != retryBeta {
+			t.Errorf("resumed solve ran at beta %g, want the checkpointed %g", got, retryBeta)
 		}
 		return nil
 	})

@@ -398,3 +398,25 @@ func TestValidationCleanOverhead(t *testing.T) {
 		}
 	}
 }
+
+// TestAbortWakesBlockedReceiverNoWatchdog: a rank failure must wake a
+// peer blocked in Recv even when no watchdog ticker exists to
+// re-broadcast (plain Run, no FaultPlan). Regression: abort() used to
+// broadcast without holding the mailbox mutex, so the wakeup could land
+// between a receiver's aborted() check and its cond.Wait and be lost
+// forever. The loop stresses that window; runBounded converts a lost
+// wakeup into a test failure instead of a hang.
+func TestAbortWakesBlockedReceiverNoWatchdog(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		_, err := runBounded(t, 30*time.Second, 2, RunOpts{}, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return fmt.Errorf("boom")
+			}
+			c.Recv(0, 7)
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("iteration %d: want the rank-0 error, got %v", i, err)
+		}
+	}
+}

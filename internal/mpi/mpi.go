@@ -197,7 +197,14 @@ func (w *World) abort(rank int, err error) {
 	w.abortMu.Unlock()
 	w.abortFlag.Store(true)
 	for _, b := range w.boxes {
+		// The broadcast must hold the mailbox mutex: take() checks
+		// aborted() under b.mu before sleeping, so an unlocked broadcast
+		// can land between that check and the cond.Wait and be lost —
+		// with no watchdog ticker to re-broadcast, the receiver would
+		// sleep forever.
+		b.mu.Lock()
 		b.cond.Broadcast()
+		b.mu.Unlock()
 	}
 }
 
@@ -316,9 +323,13 @@ type RunOpts struct {
 	Validate bool
 	// Watchdog bounds how long a receive may wait for a message before it
 	// raises a timeout CommError; 0 disables (or, with Faults attached,
-	// selects the 2s default). The deadline counts only time spent blocked
-	// inside a receive, never compute time, so it cannot false-positive on
-	// slow kernels.
+	// selects the 2s default). The deadline measures the receiver's
+	// blocked time, which includes however long the sender computes
+	// before it sends — a healthy run whose compute imbalance between
+	// ranks exceeds the deadline (e.g. large grids under a fault plan)
+	// trips a spurious timeout. Raise Watchdog accordingly for large
+	// problems; the deadline only needs to be smaller than the test
+	// harness's hang timeout to keep its job as the hang detector.
 	Watchdog time.Duration
 }
 
@@ -366,7 +377,12 @@ func RunWith(p int, opts RunOpts, fn func(c *Comm) error) ([]*Stats, error) {
 					return
 				case <-t.C:
 					for _, b := range w.boxes {
+						// Locked for the same reason as in abort(): a
+						// broadcast between a waiter's deadline check and
+						// its cond.Wait would otherwise be lost.
+						b.mu.Lock()
 						b.cond.Broadcast()
+						b.mu.Unlock()
 					}
 				}
 			}

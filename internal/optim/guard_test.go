@@ -386,8 +386,10 @@ func TestContinuationRetriesFailedLevel(t *testing.T) {
 	if !found {
 		t.Errorf("want a level-retry degradation record, got %v", res.Degradations)
 	}
-	if len(levels) != 2 {
-		t.Errorf("OnLevel calls: %v", levels)
+	// The retry must notify OnLevel with the active beta so checkpoint
+	// bookkeeping records bRetry, not the failed schedule entry.
+	if len(levels) != 3 || levels[2] != want {
+		t.Errorf("OnLevel betas %v, want [1e-1 1e-2 %g]", levels, want)
 	}
 	if !res.Converged {
 		t.Errorf("retry level did not converge: ||g|| %g -> %g", res.GnormInit, res.GnormLast)

@@ -459,6 +459,12 @@ func Continuation[T Vec[T]](p Objective[T], setBeta func(float64), v0 T, betas [
 			// iterate of the previous level.
 			bRetry := math.Sqrt(prevBeta * b)
 			setBeta(bRetry)
+			if opt.OnLevel != nil {
+				// Keep level/beta bookkeeping (checkpoint records) on the
+				// active value: a checkpoint written during the retry must
+				// resume at bRetry, not the failed schedule entry.
+				opt.OnLevel(li, bRetry)
+			}
 			degr = append(degr, fmt.Sprintf("level %d (beta=%.3e) failed; retrying at beta=%.3e from the previous level's iterate", li, b, bRetry))
 			opt.logf("continuation: level %d failed, retrying at beta=%.3e", li, bRetry)
 			retry := GaussNewton(p, v, opt)
