@@ -11,6 +11,7 @@
 //	regbench -out results/        # also write PGM slice images
 //	regbench -quick               # smaller measurement grids
 //	regbench -perf                # spectral pipeline perf snapshot (JSON)
+//	regbench -serve               # registration-as-a-service throughput (JSON)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"diffreg/internal/paperbench"
+	"diffreg/internal/servebench"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 	out := flag.String("out", "", "directory for PGM slice images (omit to skip files)")
 	quick := flag.Bool("quick", false, "use smaller measurement grids")
 	perf := flag.Bool("perf", false, "print the spectral pipeline performance snapshot as JSON")
+	serveFlag := flag.Bool("serve", false, "print the registration-as-a-service throughput snapshot as JSON")
 	flag.Parse()
 
 	if *out != "" {
@@ -37,6 +40,14 @@ func main() {
 	}
 	if *perf {
 		rep, err := paperbench.Perf()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Text)
+		return
+	}
+	if *serveFlag {
+		rep, err := servebench.Serve(*quick)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,76 @@
+// Command regserve runs the registration job server: an HTTP/JSON daemon
+// that accepts registration jobs, executes them through the distributed
+// solver on a bounded worker pool, caches FFT plans and operator
+// workspaces across jobs, and streams per-iteration progress.
+//
+//	regserve -addr :8080 -workers 4 -queue 16 -cache 8 -timeout 10m
+//
+// Submit a job and watch it:
+//
+//	curl -s localhost:8080/jobs -d '{"generator":"synthetic","n":[32,32,32],"tasks":4}'
+//	curl -s localhost:8080/jobs/job-000001/events
+//	curl -s localhost:8080/jobs/job-000001
+//
+// See README.md ("Registration as a service") for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diffreg/internal/par"
+	"diffreg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent solver slots")
+	queue := flag.Int("queue", 16, "queued-job admission cap (beyond it: HTTP 429)")
+	cache := flag.Int("cache", 0, "plan-cache capacity in operator-set collections (0 = 2*workers, negative disables)")
+	timeout := flag.Duration("timeout", 0, "default per-job cooperative timeout (0 = none)")
+	pool := flag.Int("pool", 0, "shared-memory worker pool size (0 = GOMAXPROCS)")
+	quiet := flag.Bool("q", false, "suppress per-job log lines")
+	flag.Parse()
+
+	if *pool > 0 {
+		par.SetWorkers(*pool)
+	}
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		Logf:           logf,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("regserve: %v: draining (in-flight jobs stop at the next iteration boundary)", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+
+	log.Printf("regserve: listening on %s (%d workers, queue %d, pool %d)", *addr, *workers, *queue, par.Workers())
+	err := hs.ListenAndServe()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "regserve: %v\n", err)
+		os.Exit(1)
+	}
+	srv.Close()
+}

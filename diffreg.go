@@ -122,6 +122,9 @@ type Config struct {
 	GradTol float64
 	// MaxNewtonIters bounds the outer iterations.
 	MaxNewtonIters int
+	// MaxKrylovIters bounds the PCG iterations inside each Newton step
+	// (default 200). Serving deployments lower it to bound per-job compute.
+	MaxKrylovIters int
 	// ContinuationBetas, when set, runs beta-continuation over this
 	// decreasing schedule (ending at the last value).
 	ContinuationBetas []float64
@@ -161,6 +164,41 @@ type Config struct {
 	// the grammar. Injected corruption is detected by receive-side
 	// validation and surfaces as a typed *mpi.CommError.
 	ChaosSpec string
+
+	// OnProgress receives a per-continuation-level event at the start of
+	// each level and a per-iteration event after every accepted outer step,
+	// delivered from rank 0 only (one consumer sees one stream). The
+	// callback runs on the solver's critical path — keep it cheap and do
+	// not call back into the solve.
+	OnProgress func(ProgressEvent)
+
+	// Plans, when non-nil, supplies cached per-rank operator sets (FFT
+	// plans, spectral symbol tables, workspaces) keyed by grid dims and
+	// task count, so repeated solves of the same shape skip plan
+	// construction entirely — the job server's warm path. See PlanSource.
+	Plans PlanSource
+}
+
+// ProgressEvent is one solver progress notification; see core.ProgressEvent.
+type ProgressEvent = core.ProgressEvent
+
+// PlanLease is one job's exclusive checkout of cached per-rank operator
+// sets. Ops returns the cached set for a rank (nil on a cache miss — the
+// solve then builds its own); Put donates the set a missing rank built so
+// the next solve of this shape hits; Release returns the checkout. The
+// lease owns the sets between Acquire and Release: no other job may use
+// them (pfft plans are single-owner).
+type PlanLease interface {
+	Ops(rank int) *spectral.Ops
+	Put(rank int, ops *spectral.Ops)
+	Release()
+}
+
+// PlanSource hands out plan leases; implemented by the job server's
+// PlanCache. Acquire never blocks on a busy cache — it returns a miss
+// lease instead, so concurrent same-shape jobs each get exclusive sets.
+type PlanSource interface {
+	Acquire(n [3]int, tasks int) PlanLease
 }
 
 func (c Config) withDefaults() Config {
@@ -303,6 +341,10 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("diffreg: %w", err)
 		}
 	}
+	// Reject the invalid combination before any checkpoint I/O happens.
+	if (cfg.CheckpointPath != "" || cfg.Resume) && cfg.MultilevelLevels > 1 {
+		return nil, fmt.Errorf("diffreg: checkpoint/restart is incompatible with grid continuation (MultilevelLevels > 1)")
+	}
 	var resume *ckpt.State
 	if cfg.Resume {
 		if cfg.CheckpointPath == "" {
@@ -316,8 +358,12 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("diffreg: checkpoint dims %v do not match image dims %v", resume.N, template.N)
 		}
 	}
-	if (cfg.CheckpointPath != "" || cfg.Resume) && cfg.MultilevelLevels > 1 {
-		return nil, fmt.Errorf("diffreg: checkpoint/restart is incompatible with grid continuation (MultilevelLevels > 1)")
+
+	var lease PlanLease
+	if cfg.Plans != nil {
+		if lease = cfg.Plans.Acquire(template.N, cfg.Tasks); lease != nil {
+			defer lease.Release()
+		}
 	}
 
 	res := &Result{}
@@ -387,8 +433,23 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 		}
 		ccfg.Newton.GradTol = cfg.GradTol
 		ccfg.Newton.MaxIters = cfg.MaxNewtonIters
+		if cfg.MaxKrylovIters > 0 {
+			ccfg.Newton.MaxKrylov = cfg.MaxKrylovIters
+		}
 		if cfg.Verbose && cfg.Logf != nil && c.Rank() == 0 {
 			ccfg.Newton.Log = cfg.Logf
+		}
+		if cfg.OnProgress != nil && c.Rank() == 0 {
+			ccfg.OnProgress = cfg.OnProgress
+		}
+		if lease != nil {
+			if ops := lease.Ops(c.Rank()); ops != nil {
+				if err := ops.Rebind(pe); err != nil {
+					solveErr = err
+					return err
+				}
+				ccfg.Ops = ops
+			}
 		}
 
 		var out *core.Outcome
@@ -400,6 +461,12 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 		if err != nil {
 			solveErr = err
 			return err
+		}
+		if lease != nil && out.Ops != nil {
+			// Donate the operator set this rank used (a no-op on a cache
+			// hit); the cache installs the complete per-rank collection on
+			// Release.
+			lease.Put(c.Rank(), out.Ops)
 		}
 		// Gather global artifacts on rank 0 and fill the shared result. An
 		// interrupted or failed solve has no deformation map — only the

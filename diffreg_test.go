@@ -2,6 +2,9 @@ package diffreg
 
 import (
 	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -473,5 +476,39 @@ func TestRegisterTimeSeriesTimeVarying(t *testing.T) {
 	// Interval count must match the frame intervals.
 	if _, err := RegisterTimeSeries(frames, Config{VelocityIntervals: 3}); err == nil {
 		t.Error("mismatched interval count accepted")
+	}
+}
+
+func TestCheckpointMultilevelIncompatibleError(t *testing.T) {
+	// Regression pin for the documented limitation: checkpoint/restart
+	// snapshots a velocity on one grid, while MultilevelLevels > 1 changes
+	// the grid mid-solve, so the combination must be rejected up front —
+	// before any solve work — with a stable, descriptive error.
+	tmpl, ref, err := SyntheticProblem(16, 16, 16, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := filepath.Join(t.TempDir(), "state.ckpt")
+	const want = "incompatible with grid continuation"
+
+	_, err = Register(tmpl, ref, Config{MultilevelLevels: 2, CheckpointPath: ckptPath})
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("checkpoint+multilevel accepted or error drifted: %v", err)
+	}
+	_, err = Register(tmpl, ref, Config{MultilevelLevels: 2, CheckpointPath: ckptPath, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("resume+multilevel accepted or error drifted: %v", err)
+	}
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("rejected config still touched the checkpoint path: %v", err)
+	}
+
+	// Each half works on its own: multilevel without checkpointing ...
+	if _, err := Register(tmpl, ref, Config{MultilevelLevels: 2, MaxNewtonIters: 1}); err != nil {
+		t.Fatalf("multilevel alone rejected: %v", err)
+	}
+	// ... and checkpointing without grid continuation.
+	if _, err := Register(tmpl, ref, Config{CheckpointPath: ckptPath, CheckpointEvery: 1, MaxNewtonIters: 1}); err != nil {
+		t.Fatalf("checkpoint alone rejected: %v", err)
 	}
 }

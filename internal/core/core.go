@@ -46,6 +46,18 @@ type Config struct {
 	// V0 warm-starts the stationary solve (used by grid continuation);
 	// nil means the zero velocity.
 	V0 *field.Vector
+	// Ops injects a prebuilt operator set (FFT plan, symbol tables,
+	// spectral workspaces) instead of building one — the plan-cache path of
+	// the job server. The injected Ops must already be bound to pe (see
+	// spectral.Ops.Rebind) and obeys the single-owner contract: it belongs
+	// to this solve's rank goroutine until the solve returns.
+	Ops *spectral.Ops
+	// OnProgress receives a per-continuation-level event at the start of
+	// each level and a per-iteration event after every accepted step. It
+	// runs on every rank at the same iterations (collective operations are
+	// safe inside); callers that feed a single consumer should install it
+	// on one rank only.
+	OnProgress func(ProgressEvent)
 	// Checkpoint configures periodic checkpoint/restart of the optimizer
 	// state (checkpoint writes and resume require a stationary velocity;
 	// the cooperative Stop hook works for every solve flavor).
@@ -71,6 +83,22 @@ type CheckpointConfig struct {
 	// resolves it with an allreduce so every rank stops at the same
 	// iteration boundary.
 	Stop func() bool
+}
+
+// ProgressEvent is one solver progress notification: a continuation-level
+// start (Kind "level") or a completed outer iteration (Kind "iteration").
+// N carries the active grid so coarse-to-fine solves are distinguishable.
+type ProgressEvent struct {
+	Kind    string  `json:"kind"` // "level" | "iteration"
+	N       [3]int  `json:"n"`
+	Level   int     `json:"level"`
+	Beta    float64 `json:"beta"`
+	Iter    int     `json:"iter,omitempty"`
+	J       float64 `json:"j,omitempty"`
+	Misfit  float64 `json:"misfit,omitempty"`
+	Gnorm   float64 `json:"gnorm,omitempty"`
+	CGIters int     `json:"cg_iters,omitempty"`
+	Step    float64 `json:"step,omitempty"`
 }
 
 // DefaultConfig mirrors the paper's scalability setup.
@@ -127,6 +155,11 @@ type Outcome struct {
 	Problem *regopt.Problem
 	Result  *optim.Result[*field.Vector]
 
+	// Ops is the operator set the solve ran on (the injected one when
+	// Config.Ops was set, otherwise freshly built). Callers that pool plans
+	// across jobs harvest it from here after the solve.
+	Ops *spectral.Ops
+
 	V       *field.Vector // optimal velocity (stationary problems)
 	VSeries field.Series  // optimal velocity coefficients (Intervals > 1)
 	U       *field.Vector // displacement of the deformation map, y = x + u
@@ -151,7 +184,12 @@ type Outcome struct {
 // Register runs the full solve for a template/reference pair living on the
 // pencil. The images are modified in place when cfg.Smooth is set.
 func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, error) {
-	ops := spectral.New(pfft.NewPlan(pe))
+	ops := cfg.Ops
+	if ops == nil {
+		ops = spectral.New(pfft.NewPlan(pe))
+	} else if ops.Pe != pe {
+		return nil, fmt.Errorf("core: injected operator set is bound to a different pencil; Rebind it first")
+	}
 	if cfg.Smooth {
 		ops.SmoothGridScale(rhoT)
 		ops.SmoothGridScale(rhoR)
@@ -257,13 +295,48 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 		}
 	}
 
+	if cfg.OnProgress != nil {
+		// Chain onto whatever the checkpoint wiring installed: hooks must
+		// compose, not replace each other.
+		cb := cfg.OnProgress
+		n := pe.Grid.N
+		activeBeta := cfg.Opt.Beta
+		activeLevel := 0
+		prevLevel := cfg.Newton.OnLevel
+		cfg.Newton.OnLevel = func(level int, beta float64) {
+			if prevLevel != nil {
+				prevLevel(level, beta)
+			}
+			activeLevel, activeBeta = level, beta
+			cb(ProgressEvent{Kind: "level", N: n, Level: level, Beta: beta})
+		}
+		prevIter := cfg.Newton.OnIterate
+		cfg.Newton.OnIterate = func(v any, prog optim.Progress) {
+			if prevIter != nil {
+				prevIter(v, prog)
+			}
+			ev := ProgressEvent{Kind: "iteration", N: n, Level: activeLevel, Beta: activeBeta, Iter: prog.Iter}
+			if len(prog.History) > 0 {
+				h := prog.History[len(prog.History)-1]
+				ev.J, ev.Misfit, ev.Gnorm, ev.CGIters, ev.Step = h.J, h.Misfit, h.Gnorm, h.CGIters, h.Step
+			}
+			cb(ev)
+		}
+		if len(cfg.ContinuationBetas) == 0 {
+			// No continuation schedule means the optimizer never fires
+			// OnLevel; announce the single level here so every solve's
+			// stream opens with its grid and regularization weight.
+			cb(ProgressEvent{Kind: "level", N: n, Level: 0, Beta: activeBeta})
+		}
+	}
+
 	before := *pe.Comm.Stats() // snapshot to report only this solve's work
 	parBefore := par.Snapshot()
 	var memBefore runtime.MemStats
 	runtime.ReadMemStats(&memBefore)
 	t0 := time.Now()
 
-	out := &Outcome{Problem: pr}
+	out := &Outcome{Problem: pr, Ops: ops}
 	ts := transport.NewSolver(ops, cfg.Opt.Nt)
 	if cfg.Intervals > 1 {
 		sp, err := regopt.NewSeries(pr, cfg.Intervals)

@@ -42,7 +42,12 @@ func RegisterMultilevel(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config, l
 	}
 
 	fineN := pe.Grid.N
-	fineOps := spectral.New(pfft.NewPlan(pe))
+	fineOps := cfg.Ops
+	if fineOps == nil {
+		fineOps = spectral.New(pfft.NewPlan(pe))
+	} else if fineOps.Pe != pe {
+		return nil, nil, fmt.Errorf("core: injected operator set is bound to a different pencil; Rebind it first")
+	}
 
 	// The initial misfit of the original (not warm-started) problem, so
 	// the outcome reports the true overall reduction.
@@ -106,6 +111,7 @@ func RegisterMultilevel(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config, l
 
 		lcfg := cfg
 		lcfg.V0 = v0
+		lcfg.Ops = lOps // the fine level reuses fineOps instead of rebuilding
 		if !last {
 			lcfg.SkipMap = true // map artifacts only needed at the finest level
 		}

@@ -18,6 +18,7 @@ package pfft
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"diffreg/internal/fft"
@@ -25,6 +26,23 @@ import (
 	"diffreg/internal/mpi"
 	"diffreg/internal/par"
 )
+
+// planBuilds and arenaGrows count plan constructions and workspace-arena
+// growth events process-wide. They are the observable "pfft allocations" of
+// a solve: a steady-state (warm-plan) run leaves both unchanged, which is
+// what the serve-layer alloc-regression gates assert through the job-server
+// path. Atomic because plans are built concurrently by rank goroutines.
+var (
+	planBuilds atomic.Int64
+	arenaGrows atomic.Int64
+)
+
+// PlanBuilds returns the process-wide number of NewPlan calls.
+func PlanBuilds() int64 { return planBuilds.Load() }
+
+// ArenaGrows returns the process-wide number of workspace-arena growth
+// events (see ensureBatch). Warm plans never grow their arena.
+func ArenaGrows() int64 { return arenaGrows.Load() }
 
 // lineGrain is the chunk granularity for per-line work: one item is a full
 // 1D transform, so a handful of lines per chunk already amortizes the pool
@@ -64,15 +82,15 @@ type Plan struct {
 // the largest batch size seen and is never shrunk, so steady-state calls
 // allocate nothing.
 type workspace struct {
-	fields     int             // batch capacity (B)
-	stageMax   int             // max local elements at any pipeline stage
-	bufA, bufB [][]complex128  // per-field stage buffers, stageMax each
-	hdrA, hdrB [][]complex128  // reusable per-field slice headers
-	send       [][]complex128  // per-target headers into sendSlab
-	sendSlab   []complex128    // fused transpose pack buffer
-	line       []complex128    // per-chunk 1D line scratch slab
-	lineLen    int             // scratch complexes per chunk
-	chunkCap   int             // chunk slots in line
+	fields     int            // batch capacity (B)
+	stageMax   int            // max local elements at any pipeline stage
+	bufA, bufB [][]complex128 // per-field stage buffers, stageMax each
+	hdrA, hdrB [][]complex128 // reusable per-field slice headers
+	send       [][]complex128 // per-target headers into sendSlab
+	sendSlab   []complex128   // fused transpose pack buffer
+	line       []complex128   // per-chunk 1D line scratch slab
+	lineLen    int            // scratch complexes per chunk
+	chunkCap   int            // chunk slots in line
 }
 
 // batchState carries the parameters of the pool kernel currently running.
@@ -92,6 +110,7 @@ type batchState struct {
 
 // NewPlan builds a transform plan for the pencil decomposition.
 func NewPlan(pe *grid.Pencil) *Plan {
+	planBuilds.Add(1)
 	n := pe.Grid.N
 	pl := &Plan{Pe: pe, m3: fft.HalfLen(n[2])}
 	pl.plan1 = fft.NewPlan(n[0])
@@ -105,6 +124,35 @@ func NewPlan(pe *grid.Pencil) *Plan {
 	pl.dimsB = [3]int{pe.Local(0), n[1], pl.specDim[2]}
 	pl.buildKernels()
 	return pl
+}
+
+// Rebind re-attaches the plan to a pencil of identical geometry on a
+// (possibly) different communicator. Every communicator access in the
+// transform pipeline goes through pl.Pe at call time, and all retained
+// state — 1D plans, workspace arena, pool kernels, spectral layout — is a
+// pure function of the geometry (grid dims, process grid, coordinates), so
+// swapping the pencil is the complete handoff.
+//
+// This is what makes plan caching across solver jobs safe: a plan built
+// inside one mpi world can serve a later job's world, as long as the
+// single-owner contract still holds — a Plan is owned by exactly one rank
+// goroutine at a time, and the caller (the serve-layer PlanCache) must
+// guarantee no two in-flight jobs share it.
+func (pl *Plan) Rebind(pe *grid.Pencil) error {
+	old := pl.Pe
+	if pe.Grid.N != old.Grid.N {
+		return fmt.Errorf("pfft: rebind grid %v onto plan built for %v", pe.Grid.N, old.Grid.N)
+	}
+	if pe.P != old.P || pe.Coord != old.Coord {
+		return fmt.Errorf("pfft: rebind process grid %v coord %v onto plan built for %v coord %v",
+			pe.P, pe.Coord, old.P, old.Coord)
+	}
+	if pe.Lo != old.Lo || pe.Hi != old.Hi {
+		return fmt.Errorf("pfft: rebind local block [%v,%v) onto plan owning [%v,%v)",
+			pe.Lo, pe.Hi, old.Lo, old.Hi)
+	}
+	pl.Pe = pe
+	return nil
 }
 
 // buildKernels constructs the three pool kernels once; they read the
@@ -179,6 +227,7 @@ func (pl *Plan) ensureBatch(b int) {
 	if ws.fields >= b {
 		return
 	}
+	arenaGrows.Add(1)
 	prodA := pl.dimsA[0] * pl.dimsA[1] * pl.dimsA[2]
 	prodB := pl.dimsB[0] * pl.dimsB[1] * pl.dimsB[2]
 	ws.stageMax = prodA

@@ -1,0 +1,173 @@
+package pfft
+
+import (
+	"math/rand"
+	"testing"
+
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+)
+
+// TestRebindBitIdentical checks the cache-handoff contract: a plan built
+// inside one mpi world, rebound to a fresh pencil of identical geometry in
+// a later world, produces bit-identical transforms to a plan built fresh
+// in that world — at 1 and 4 ranks.
+func TestRebindBitIdentical(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		g := grid.MustNew(16, 16, 16)
+
+		// World 1: build the plans and run one transform to warm arenas.
+		cached := make([]*Plan, p)
+		if _, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			pl := NewPlan(pe)
+			src := make([]float64, pe.LocalTotal())
+			rng := rand.New(rand.NewSource(int64(100 + c.Rank())))
+			for i := range src {
+				src[i] = rng.NormFloat64()
+			}
+			if _, err := pl.Forward(src); err != nil {
+				return err
+			}
+			cached[c.Rank()] = pl
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d world 1: %v", p, err)
+		}
+
+		// World 2: same geometry, fresh communicators. Compare the rebound
+		// cached plan against a freshly built one on identical input.
+		if _, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			pl := cached[c.Rank()]
+			if err := pl.Rebind(pe); err != nil {
+				return err
+			}
+			fresh := NewPlan(pe)
+			src := make([]float64, pe.LocalTotal())
+			rng := rand.New(rand.NewSource(int64(200 + c.Rank())))
+			for i := range src {
+				src[i] = rng.NormFloat64()
+			}
+			specA, err := pl.Forward(src)
+			if err != nil {
+				return err
+			}
+			specB, err := fresh.Forward(src)
+			if err != nil {
+				return err
+			}
+			for i := range specA {
+				if specA[i] != specB[i] {
+					t.Errorf("p=%d rank %d: rebound plan diverges at mode %d: %v vs %v",
+						p, c.Rank(), i, specA[i], specB[i])
+					break
+				}
+			}
+			backA, err := pl.Inverse(specA)
+			if err != nil {
+				return err
+			}
+			backB, err := fresh.Inverse(specB)
+			if err != nil {
+				return err
+			}
+			for i := range backA {
+				if backA[i] != backB[i] {
+					t.Errorf("p=%d rank %d: rebound inverse diverges at %d", p, c.Rank(), i)
+					break
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d world 2: %v", p, err)
+		}
+	}
+}
+
+// TestRebindRejectsGeometryMismatch pins the guard rails of the handoff.
+func TestRebindRejectsGeometryMismatch(t *testing.T) {
+	build := func(n int) *Plan {
+		var pl *Plan
+		g := grid.MustNew(n, n, n)
+		if _, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			pl = NewPlan(pe)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+	pl := build(16)
+	other := build(8)
+	if err := pl.Rebind(other.Pe); err == nil {
+		t.Fatal("rebinding a 16^3 plan onto an 8^3 pencil must fail")
+	}
+
+	// Mismatched coordinates at equal global dims: rank 1's pencil of a
+	// 4-rank world offered to a plan built for rank 0 of the same world.
+	g := grid.MustNew(16, 16, 16)
+	pes := make([]*grid.Pencil, 4)
+	if _, err := mpi.Run(4, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		pes[c.Rank()] = pe
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pl4 := build(16) // built on a single-rank world: P = {1,1}
+	if err := pl4.Rebind(pes[1]); err == nil {
+		t.Fatal("rebinding across process-grid shapes must fail")
+	}
+}
+
+// TestPlanCounters pins the alloc-observability contract: building a plan
+// bumps PlanBuilds, the first transform grows the arena once, and warm
+// transforms leave both counters unchanged.
+func TestPlanCounters(t *testing.T) {
+	g := grid.MustNew(16, 16, 16)
+	if _, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		b0, a0 := PlanBuilds(), ArenaGrows()
+		pl := NewPlan(pe)
+		if PlanBuilds() != b0+1 {
+			t.Errorf("PlanBuilds %d, want %d", PlanBuilds(), b0+1)
+		}
+		src := make([]float64, pe.LocalTotal())
+		if _, err := pl.Forward(src); err != nil {
+			return err
+		}
+		if ArenaGrows() != a0+1 {
+			t.Errorf("ArenaGrows %d after first transform, want %d", ArenaGrows(), a0+1)
+		}
+		b1, a1 := PlanBuilds(), ArenaGrows()
+		for i := 0; i < 3; i++ {
+			if _, err := pl.Forward(src); err != nil {
+				return err
+			}
+		}
+		if PlanBuilds() != b1 || ArenaGrows() != a1 {
+			t.Errorf("warm transforms moved counters: builds %d->%d grows %d->%d",
+				b1, PlanBuilds(), a1, ArenaGrows())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

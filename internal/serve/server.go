@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffreg"
+	"diffreg/internal/mpi"
+)
+
+// Config sizes the server. Zero values take the documented defaults; set
+// CacheEntries negative to disable the plan cache.
+type Config struct {
+	// Workers is the number of concurrent solver slots (default 2). Each
+	// running job additionally spawns its own Tasks rank goroutines.
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (default 16).
+	// Submissions beyond the cap are rejected — HTTP 429.
+	QueueDepth int
+	// CacheEntries is the plan-cache capacity in operator-set collections
+	// (default 2*Workers; negative disables caching).
+	CacheEntries int
+	// DefaultTimeout is the per-job cooperative timeout applied when a spec
+	// carries none (0 = no default timeout).
+	DefaultTimeout time.Duration
+	// Logf receives server lifecycle lines (nil discards).
+	Logf func(format string, args ...any)
+
+	// beforeRun, when set, runs in the worker immediately before a job's
+	// solve starts — a test hook for making "worker busy" deterministic.
+	beforeRun func(*Job)
+}
+
+// Submission errors surfaced by Submit (mapped to HTTP statuses by the
+// handler).
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrClosed    = errors.New("serve: server is shutting down")
+)
+
+// SpecError marks a malformed job spec (HTTP 400).
+type SpecError struct{ Err error }
+
+func (e *SpecError) Error() string { return "serve: bad job spec: " + e.Err.Error() }
+func (e *SpecError) Unwrap() error { return e.Err }
+
+// ServerStats is the GET /stats body.
+type ServerStats struct {
+	Workers      int        `json:"workers"`
+	QueueDepth   int        `json:"queue_depth"`
+	Queued       int        `json:"queued"`
+	Running      int64      `json:"running"`
+	Done         int64      `json:"done"`
+	Failed       int64      `json:"failed"`
+	Canceled     int64      `json:"canceled"`
+	Rejected     int64      `json:"rejected"`
+	Cache        CacheStats `json:"cache"`
+	CacheEnabled bool       `json:"cache_enabled"`
+}
+
+// Server is the registration job server: a bounded queue feeding a fixed
+// worker pool, a job store, and the plan cache. Create with New, serve its
+// Handler over HTTP, stop with Close.
+type Server struct {
+	cfg   Config
+	cache *PlanCache // nil when disabled
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	seq    int64
+	closed bool
+
+	wg       sync.WaitGroup
+	running  atomic.Int64
+	done     atomic.Int64
+	failed   atomic.Int64
+	canceled atomic.Int64
+	rejected atomic.Int64
+
+	genMu sync.Mutex
+	gen   map[genKey]genPair
+}
+
+// genKey identifies one deterministic generator output; memoizing it keeps
+// repeat jobs from rebuilding the input pair (and the pfft plan the
+// generators spin up internally) on every submission.
+type genKey struct {
+	generator      string
+	n              [3]int
+	seedA, seedB   int64
+	nt             int
+	incompressible bool
+}
+
+type genPair struct{ template, reference diffreg.Volume }
+
+// maxGenEntries bounds the generator memo; entries are a pair of n1*n2*n3
+// float64 volumes each.
+const maxGenEntries = 8
+
+// volumes materializes a job's input pair, memoizing named-generator
+// outputs. The generators are deterministic and Register never mutates its
+// inputs (both images are scattered into per-rank fields), so sharing one
+// backing array across concurrent jobs is safe.
+func (s *Server) volumes(spec *JobSpec) (diffreg.Volume, diffreg.Volume, error) {
+	if spec.Generator == "" {
+		return spec.volumes()
+	}
+	// The generator memo is part of the warm path: a cache-disabled server
+	// (or a NoCache job) regenerates its inputs — and the plans inside the
+	// generator — per job, which is what "cold" means operationally.
+	if s.cache == nil || spec.NoCache {
+		return spec.volumes()
+	}
+	key := genKey{
+		generator: spec.Generator, n: spec.N,
+		seedA: spec.SeedA, seedB: spec.SeedB,
+		incompressible: spec.Incompressible,
+	}
+	if spec.Generator == "synthetic" {
+		if key.nt = spec.TimeSteps; key.nt == 0 {
+			key.nt = 4
+		}
+	}
+	s.genMu.Lock()
+	if p, ok := s.gen[key]; ok {
+		s.genMu.Unlock()
+		return p.template, p.reference, nil
+	}
+	s.genMu.Unlock()
+	template, reference, err := spec.volumes()
+	if err != nil {
+		return template, reference, err
+	}
+	s.genMu.Lock()
+	if s.gen == nil {
+		s.gen = map[genKey]genPair{}
+	}
+	if len(s.gen) >= maxGenEntries {
+		for k := range s.gen { // drop an arbitrary entry; the memo is tiny
+			delete(s.gen, k)
+			break
+		}
+	}
+	s.gen[key] = genPair{template, reference}
+	s.genMu.Unlock()
+	return template, reference, nil
+}
+
+// New starts the worker pool and returns the server.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 2 * cfg.Workers
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = NewPlanCache(cfg.CacheEntries)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. It returns *SpecError for malformed
+// specs, ErrQueueFull when admission control rejects, ErrClosed after
+// Close.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, &SpecError{Err: err}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.seq++
+	job := newJob(fmt.Sprintf("job-%06d", s.seq), spec)
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.mu.Unlock()
+		s.logf("accepted %s: %v tasks=%d", job.ID, spec.N, spec.Tasks)
+		return job, nil
+	default:
+		s.seq--
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Job looks up a tracked job.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cache exposes the plan cache (nil when disabled).
+func (s *Server) Cache() *PlanCache { return s.cache }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
+		Queued:  len(s.queue),
+		Running: s.running.Load(), Done: s.done.Load(), Failed: s.failed.Load(),
+		Canceled: s.canceled.Load(), Rejected: s.rejected.Load(),
+		CacheEnabled: s.cache != nil,
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// Close stops admission, requests cooperative stop of every non-terminal
+// job, and waits for the workers to drain. Queued jobs that never ran are
+// finished as canceled.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			j.stop.Store(true)
+		}
+	}
+	close(s.queue)
+	s.wg.Wait()
+	// Workers have drained: anything still queued was closed out below in
+	// runJob; anything never dequeued is finished here.
+	for _, j := range jobs {
+		if !j.State().Terminal() {
+			j.finish(JobCanceled, nil, "server shutdown before start", "shutdown", nil)
+			s.canceled.Add(1)
+		}
+	}
+	s.logf("server closed: %d done, %d failed, %d canceled", s.done.Load(), s.failed.Load(), s.canceled.Load())
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// sourceRecorder wraps the cache to record whether this job's lease was a
+// hit (reported in the result body).
+type sourceRecorder struct {
+	pc  *PlanCache
+	hit atomic.Bool
+}
+
+func (r *sourceRecorder) Acquire(n [3]int, tasks int) diffreg.PlanLease {
+	lease := r.pc.Acquire(n, tasks)
+	if pl, ok := lease.(*planLease); ok && pl.Hit() {
+		r.hit.Store(true)
+	}
+	return lease
+}
+
+// runJob executes one dequeued job end to end.
+func (s *Server) runJob(job *Job) {
+	if !job.setRunning() {
+		s.canceled.Add(1) // canceled while queued; the worker skips it
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	if s.cfg.beforeRun != nil {
+		s.cfg.beforeRun(job)
+	}
+
+	template, reference, err := s.volumes(&job.Spec)
+	if err != nil {
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, err.Error(), "solver", nil)
+		return
+	}
+	cfg := job.Spec.config()
+	cfg.StopRequested = job.stop.Load
+	cfg.OnProgress = job.progress
+	var rec *sourceRecorder
+	if s.cache != nil && !job.Spec.NoCache {
+		rec = &sourceRecorder{pc: s.cache}
+		cfg.Plans = rec
+	}
+	if timeout := job.Spec.effectiveTimeout(s.cfg.DefaultTimeout); timeout > 0 {
+		timer := time.AfterFunc(timeout, func() {
+			job.timedOut.Store(true)
+			job.stop.Store(true)
+		})
+		defer timer.Stop()
+	}
+
+	t0 := time.Now()
+	res, err := diffreg.Register(template, reference, cfg)
+	wall := time.Since(t0).Seconds()
+
+	switch {
+	case err != nil:
+		kind := "solver"
+		var ce *mpi.CommError
+		if errors.As(err, &ce) {
+			kind = "comm"
+		}
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, err.Error(), kind, nil)
+		s.logf("%s failed (%s): %v", job.ID, kind, err)
+	case res.Failed:
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, res.FailReason, "solver", res.Degradations)
+		s.logf("%s failed: %s", job.ID, res.FailReason)
+	case res.Interrupted && job.timedOut.Load():
+		s.failed.Add(1)
+		job.finish(JobFailed, buildResult(res, wall, rec, &job.Spec),
+			fmt.Sprintf("watchdog: job exceeded its timeout; stopped cooperatively after %d iterations", res.NewtonIters),
+			"timeout", res.Degradations)
+		s.logf("%s timed out after %d iterations", job.ID, res.NewtonIters)
+	case res.Interrupted && job.canceled.Load():
+		s.canceled.Add(1)
+		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "canceled", "", res.Degradations)
+		s.logf("%s canceled after %d iterations", job.ID, res.NewtonIters)
+	case res.Interrupted:
+		s.canceled.Add(1)
+		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "server shutdown", "shutdown", res.Degradations)
+	default:
+		s.done.Add(1)
+		job.finish(JobDone, buildResult(res, wall, rec, &job.Spec), "", "", res.Degradations)
+		s.logf("%s done: misfit %.3e -> %.3e in %.2fs", job.ID, res.MisfitInit, res.MisfitFinal, wall)
+	}
+}
+
+func buildResult(res *diffreg.Result, wall float64, rec *sourceRecorder, spec *JobSpec) *JobResult {
+	jr := &JobResult{
+		Converged: res.Converged, Interrupted: res.Interrupted,
+		NewtonIters: res.NewtonIters, HessianMatvecs: res.HessianMatvecs,
+		MisfitInit: res.MisfitInit, MisfitFinal: res.MisfitFinal,
+		GnormInit: res.GnormInit, GnormFinal: res.GnormFinal,
+		DetMin: res.DetMin, DetMax: res.DetMax, DetMean: res.DetMean,
+		Degradations:   res.Degradations,
+		TimeToSolution: wall,
+		FFTs:           res.FFTs, InterpSweeps: res.InterpSweeps,
+	}
+	if rec != nil {
+		jr.CacheHit = rec.hit.Load()
+	}
+	if spec.ReturnFields {
+		jr.Warped = res.Warped.Data
+		jr.Velocity = make([][]float64, 3)
+		for d := 0; d < 3; d++ {
+			jr.Velocity[d] = res.Velocity[d].Data
+		}
+	}
+	return jr
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /jobs            submit a JobSpec        -> 202 {id} | 400 | 429 | 503
+//	GET  /jobs            list jobs               -> 200 [{id, state}]
+//	GET  /jobs/{id}        job status + result     -> 200 JobStatus | 404
+//	GET  /jobs/{id}/events NDJSON progress stream  -> 200 (blocks until terminal)
+//	POST /jobs/{id}/cancel cooperative cancel      -> 202 {state} | 404
+//	GET  /stats            server + cache counters -> 200 ServerStats
+//	GET  /healthz          liveness                -> 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<30))
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		job, err := s.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.State()})
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		list := make([]map[string]any, 0, len(s.order))
+		for _, id := range s.order {
+			list = append(list, map[string]any{"id": id, "state": s.jobs[id].State()})
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, list)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		next := 0
+		for {
+			evs, notify, terminal := job.EventsSince(next)
+			for _, ev := range evs {
+				if err := enc.Encode(ev); err != nil {
+					return
+				}
+			}
+			next += len(evs)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if terminal && len(evs) == 0 {
+				return
+			}
+			if terminal {
+				continue // drain whatever the terminal transition appended
+			}
+			select {
+			case <-notify:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.RequestCancel()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

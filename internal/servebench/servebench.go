@@ -1,0 +1,169 @@
+// Package servebench measures registration-as-a-service throughput for
+// BENCH_pr6.json. It lives outside paperbench because it imports
+// internal/serve (which imports diffreg); keeping it separate lets
+// diffreg's in-package tests keep importing paperbench without a cycle.
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"diffreg/internal/paperbench"
+	"diffreg/internal/pfft"
+	"diffreg/internal/serve"
+)
+
+// ServeRound is one measured serving round: a fixed job count pushed by
+// concurrent clients through the job server's worker pool.
+type ServeRound struct {
+	Seconds       float64 `json:"seconds"`
+	JobsPerMinute float64 `json:"jobs_per_minute"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	// PlanBuilds and ArenaGrows are the pfft package counter deltas over
+	// the round: plans constructed and workspace arenas grown. The warm
+	// round must show 0 and 0 — the steady-state zero-allocation condition
+	// extended through the serving path.
+	PlanBuilds int64 `json:"plan_builds"`
+	ArenaGrows int64 `json:"arena_grows"`
+}
+
+// ServeSnapshot is the machine-readable output of `regbench -serve`:
+// registration-as-a-service throughput at a fixed grid with a saturated
+// worker pool, cold (plan cache disabled) versus warm (cache enabled and
+// pre-seeded by a warm-up round).
+type ServeSnapshot struct {
+	Grid         [3]int     `json:"grid"`
+	TasksPerJob  int        `json:"tasks_per_job"`
+	Workers      int        `json:"workers"`
+	Clients      int        `json:"clients"`
+	JobsPerRound int        `json:"jobs_per_round"`
+	Cold         ServeRound `json:"cold"`
+	Warm         ServeRound `json:"warm"`
+	// WarmSpeedup is cold.Seconds / warm.Seconds (> 1 means the plan cache
+	// pays for itself).
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// serveRound saturates the server with jobsTotal copies of spec pushed by
+// clients concurrent submitters and times the drain.
+func serveRound(srv *serve.Server, spec serve.JobSpec, clients, jobsTotal int) (ServeRound, error) {
+	builds0, grows0 := pfft.PlanBuilds(), pfft.ArenaGrows()
+	hits0, misses0 := srv.Stats().Cache.Hits, srv.Stats().Cache.Misses
+
+	jobs := make([]*serve.Job, jobsTotal)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < jobsTotal; i += clients {
+				job, err := srv.Submit(spec)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				jobs[i] = job
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ServeRound{}, err
+		}
+	}
+	for _, job := range jobs {
+		job.Wait()
+		if st := job.Status(); st.State != serve.JobDone {
+			return ServeRound{}, fmt.Errorf("job %s: %s (%s)", job.ID, st.State, st.Error)
+		}
+	}
+	sec := time.Since(t0).Seconds()
+
+	stats := srv.Stats()
+	return ServeRound{
+		Seconds:       sec,
+		JobsPerMinute: float64(jobsTotal) / sec * 60,
+		CacheHits:     stats.Cache.Hits - hits0,
+		CacheMisses:   stats.Cache.Misses - misses0,
+		PlanBuilds:    int64(pfft.PlanBuilds() - builds0),
+		ArenaGrows:    int64(pfft.ArenaGrows() - grows0),
+	}, nil
+}
+
+// Serve measures serving throughput for BENCH_pr6: one cold round against
+// a cache-disabled server, then — on a cache-enabled server — a warm-up
+// round that seeds one cache entry per worker, then the measured warm
+// round, which must run without constructing a single pfft plan.
+func Serve(quick bool) (paperbench.Report, error) {
+	n := 64
+	if quick {
+		n = 32
+	}
+	// Two workers × two ranks per job keeps the pool matched to the
+	// available cores; four clients keep the queue saturated throughout.
+	const (
+		workers      = 2
+		clients      = 4
+		jobsPerRound = 12
+	)
+	// The serving-latency job shape: one Gauss-Newton step with bounded
+	// inner Krylov work — the high-throughput regime the plan cache is for.
+	spec := serve.JobSpec{
+		Generator: "synthetic", N: [3]int{n, n, n}, Tasks: 2,
+		TimeSteps: 2, MaxNewtonIters: 1, MaxKrylovIters: 5, GradTol: 1e-12,
+	}
+	snap := ServeSnapshot{Grid: spec.N, TasksPerJob: spec.Tasks,
+		Workers: workers, Clients: clients, JobsPerRound: jobsPerRound}
+
+	// Cold: a fresh cache-disabled server taking its first batch — every
+	// job builds its per-rank plans, operator tables, and workspaces from
+	// scratch, and the round carries the first-touch costs (generator
+	// construction, heap growth) a cold deployment actually pays.
+	cold := serve.New(serve.Config{Workers: workers, QueueDepth: jobsPerRound + clients, CacheEntries: -1})
+	round, err := serveRound(cold, spec, clients, jobsPerRound)
+	cold.Close()
+	if err != nil {
+		return paperbench.Report{}, err
+	}
+	snap.Cold = round
+
+	// Warm: cache enabled; the warm-up round leaves one entry per worker,
+	// so the measured round runs fully on cached plans.
+	warm := serve.New(serve.Config{Workers: workers, QueueDepth: jobsPerRound + clients, CacheEntries: workers})
+	defer warm.Close()
+	if _, err := serveRound(warm, spec, clients, jobsPerRound); err != nil {
+		return paperbench.Report{}, err
+	}
+	round, err = serveRound(warm, spec, clients, jobsPerRound)
+	if err != nil {
+		return paperbench.Report{}, err
+	}
+	snap.Warm = round
+	if snap.Warm.Seconds > 0 {
+		snap.WarmSpeedup = snap.Cold.Seconds / snap.Warm.Seconds
+	}
+
+	text, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return paperbench.Report{}, err
+	}
+	return paperbench.Report{Title: "Registration-as-a-service throughput", Text: string(text)}, nil
+}
+
+func submitAndWait(srv *serve.Server, spec serve.JobSpec) (*serve.JobResult, error) {
+	job, err := srv.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	job.Wait()
+	if st := job.Status(); st.State != serve.JobDone {
+		return nil, fmt.Errorf("job %s: %s (%s)", job.ID, st.State, st.Error)
+	}
+	return job.Result(), nil
+}

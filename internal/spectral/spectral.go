@@ -100,6 +100,20 @@ func New(plan *pfft.Plan) *Ops {
 	return o
 }
 
+// Rebind re-attaches the operator set (and its plan) to a pencil of
+// identical geometry on a different communicator — see pfft.Plan.Rebind.
+// The symbol tables, workspaces, and kernels are pure functions of the
+// geometry, so they carry over unchanged; only the communicator handle
+// moves. The single-owner contract is unchanged: a rebound Ops must still
+// be used by exactly one rank goroutine at a time.
+func (o *Ops) Rebind(pe *grid.Pencil) error {
+	if err := o.Plan.Rebind(pe); err != nil {
+		return err
+	}
+	o.Pe = pe
+	return nil
+}
+
 // buildKernels constructs the retained table-driven pool kernels. Each
 // preserves the floating-point expression of the closure it replaces
 // exactly, so results stay bit-identical to the unbatched operators.

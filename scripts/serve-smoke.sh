@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# serve-smoke.sh — CI smoke test for the regserve daemon.
+#
+# Starts the daemon, submits one 32³ synthetic registration over HTTP,
+# polls the job to completion, and asserts the final misfit is finite
+# and below the initial misfit. Usage: scripts/serve-smoke.sh [regserve-binary]
+set -euo pipefail
+
+BIN=${1:-}
+if [ -z "$BIN" ]; then
+    go build -o /tmp/regserve ./cmd/regserve
+    BIN=/tmp/regserve
+fi
+ADDR=127.0.0.1:7470
+BASE=http://$ADDR
+
+"$BIN" -addr "$ADDR" -workers 1 &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+code=$(curl -s -o job.json -w '%{http_code}' -X POST "$BASE/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"generator":"synthetic","n":[32,32,32],"tasks":2,"time_steps":2,"max_newton_iters":2}')
+if [ "$code" != 202 ]; then
+    echo "serve-smoke: POST /jobs returned $code" >&2
+    cat job.json >&2
+    exit 1
+fi
+id=$(jq -r .id job.json)
+
+state=""
+for _ in $(seq 1 300); do
+    code=$(curl -s -o status.json -w '%{http_code}' "$BASE/jobs/$id")
+    if [ "$code" != 200 ]; then
+        echo "serve-smoke: GET /jobs/$id returned $code" >&2
+        exit 1
+    fi
+    state=$(jq -r .state status.json)
+    case "$state" in
+    done) break ;;
+    failed | canceled)
+        echo "serve-smoke: job ended $state" >&2
+        cat status.json >&2
+        exit 1
+        ;;
+    esac
+    sleep 1
+done
+if [ "$state" != done ]; then
+    echo "serve-smoke: job did not finish in time" >&2
+    cat status.json >&2
+    exit 1
+fi
+
+jq -e '.result.misfit_final as $m
+       | ($m | isnan or isinfinite | not)
+       and $m >= 0 and $m < .result.misfit_init' status.json >/dev/null || {
+    echo "serve-smoke: misfit check failed" >&2
+    cat status.json >&2
+    exit 1
+}
+echo "serve-smoke: ok (misfit $(jq -r .result.misfit_init status.json) -> $(jq -r .result.misfit_final status.json))"
