@@ -12,6 +12,7 @@
 //	regbench -quick               # smaller measurement grids
 //	regbench -perf                # spectral pipeline perf snapshot (JSON)
 //	regbench -serve               # registration-as-a-service throughput (JSON)
+//	regbench -mixed               # float64-vs-float32 hot path comparison (JSON)
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"diffreg/internal/mixbench"
 	"diffreg/internal/paperbench"
 	"diffreg/internal/servebench"
 )
@@ -31,6 +33,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use smaller measurement grids")
 	perf := flag.Bool("perf", false, "print the spectral pipeline performance snapshot as JSON")
 	serveFlag := flag.Bool("serve", false, "print the registration-as-a-service throughput snapshot as JSON")
+	mixed := flag.Bool("mixed", false, "print the float64-vs-float32 hot path comparison as JSON")
 	flag.Parse()
 
 	if *out != "" {
@@ -48,6 +51,14 @@ func main() {
 	}
 	if *serveFlag {
 		rep, err := servebench.Serve(*quick)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Text)
+		return
+	}
+	if *mixed {
+		rep, err := mixbench.PrecisionBench(*quick)
 		if err != nil {
 			fail(err)
 		}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"diffreg/internal/check"
+	"diffreg/internal/prec"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	nt := flag.Int("nt", 0, "override the transport time steps (default 4)")
 	ranks := flag.String("ranks", "", "comma-separated simulated MPI sizes (default 1,4)")
 	seed := flag.Int64("seed", 0, "override the fuzz seed")
+	precision := flag.String("precision", "float64", "numeric mode under test: float64 | float32")
 	verbose := flag.Bool("v", false, "log each finding as it is measured")
 	flag.Parse()
 
@@ -50,6 +52,11 @@ func main() {
 			opt.Ranks = append(opt.Ranks, p)
 		}
 	}
+	pr, err := prec.Parse(*precision)
+	if err != nil {
+		log.Fatalf("regcheck: %v", err)
+	}
+	opt.Precision = pr
 	if *verbose {
 		opt.Log = log.Printf
 	}

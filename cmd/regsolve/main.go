@@ -38,6 +38,7 @@ func main() {
 	incompressible := flag.Bool("incompressible", false, "enforce div v = 0 (volume preserving)")
 	divPenalty := flag.Float64("divpenalty", 0, "soft volume-change penalty weight (alternative to -incompressible)")
 	distance := flag.String("distance", "l2", "image similarity measure: l2 | ncc")
+	precision := flag.String("precision", "float64", "solver numeric mode: float64 (reference) | float32 (narrow wire + transport)")
 	intervals := flag.Int("intervals", 1, "velocity intervals (>1 = time-varying velocity)")
 	multilevel := flag.Int("multilevel", 1, "grid continuation levels (>1 = coarse-to-fine)")
 	shiftedPrec := flag.Bool("shifted-prec", false, "data-shifted spectral preconditioner")
@@ -96,6 +97,7 @@ func main() {
 		Incompressible:    *incompressible,
 		DivPenalty:        *divPenalty,
 		Distance:          *distance,
+		Precision:         *precision,
 		TimeSteps:         *nt,
 		VelocityIntervals: *intervals,
 		MultilevelLevels:  *multilevel,

@@ -30,6 +30,7 @@ import (
 	"diffreg/internal/mpi"
 	"diffreg/internal/optim"
 	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
 	"diffreg/internal/regopt"
 	"diffreg/internal/spectral"
 )
@@ -89,6 +90,13 @@ type Config struct {
 	// paper's squared L2 misfit) or "ncc" (normalized cross correlation,
 	// invariant to affine intensity rescalings — for multi-scanner data).
 	Distance string
+	// Precision selects the hot-path floating-point width: "float64"
+	// (default, the bit-exact reference) or "float32", which narrows the
+	// pencil-transpose wire format, the halo exchanges, and the tricubic
+	// gather while keeping all misfit/gradient reductions in float64 —
+	// half the transpose bytes and a faster interpolation sweep at
+	// registration-tolerance accuracy.
+	Precision string
 	// InitialVelocity warm-starts the solve from a previously recovered
 	// velocity (e.g. a prior registration of a similar pair). All three
 	// components must match the image dimensions.
@@ -197,8 +205,12 @@ type PlanLease interface {
 // PlanSource hands out plan leases; implemented by the job server's
 // PlanCache. Acquire never blocks on a busy cache — it returns a miss
 // lease instead, so concurrent same-shape jobs each get exclusive sets.
+// precision is the canonical precision string ("float64" or "float32")
+// the solve will run at; cached operator sets bake their wire format into
+// their workspaces, so an implementation must never hand a lease built at
+// one precision to a solve requesting the other.
 type PlanSource interface {
-	Acquire(n [3]int, tasks int) PlanLease
+	Acquire(n [3]int, tasks int, precision string) PlanLease
 }
 
 func (c Config) withDefaults() Config {
@@ -316,6 +328,10 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	precision, err := prec.Parse(cfg.Precision)
+	if err != nil {
+		return nil, fmt.Errorf("diffreg: %w", err)
+	}
 	var dist regopt.Distance
 	switch cfg.Distance {
 	case "", "l2", "L2":
@@ -357,11 +373,19 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 		if resume.N != template.N {
 			return nil, fmt.Errorf("diffreg: checkpoint dims %v do not match image dims %v", resume.N, template.N)
 		}
+		// A checkpoint written on one hot path does not reproduce the
+		// other path's trajectory; reject with the typed error instead of
+		// silently resuming into a different numerical run.
+		if written := resume.Precision; written != "" && written != precision.String() {
+			return nil, &ckpt.PrecisionMismatchError{
+				Path: cfg.CheckpointPath, Written: written, Requested: precision.String(),
+			}
+		}
 	}
 
 	var lease PlanLease
 	if cfg.Plans != nil {
-		if lease = cfg.Plans.Acquire(template.N, cfg.Tasks); lease != nil {
+		if lease = cfg.Plans.Acquire(template.N, cfg.Tasks, precision.String()); lease != nil {
 			defer lease.Release()
 		}
 	}
@@ -408,6 +432,7 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 
 		ccfg := core.Config{
 			V0:        v0,
+			Precision: precision,
 			Intervals: cfg.VelocityIntervals,
 			Opt: regopt.Options{
 				Beta:           cfg.Beta,

@@ -71,15 +71,20 @@ func (e *env) runAdjoint() {
 		dg.Axpy(-1, ops.Lap(s))
 		divGradLap = math.Max(divGradLap, dg.NormL2()/ops.Lap(s).NormL2())
 	}
-	e.add("adjoint", "grad_div_negative", gradDiv, 1e-12, ModeMax, detail)
-	e.add("adjoint", "lap_self", lap, 1e-12, ModeMax, detail)
-	e.add("adjoint", "veclap_self", vecLap, 1e-12, ModeMax, detail)
-	e.add("adjoint", "biharm_self", biharm, 1e-12, ModeMax, detail)
-	e.add("adjoint", "leray_self", leraySym, 1e-12, ModeMax, detail)
-	e.add("adjoint", "leray_idempotent", lerayIdem, 1e-12, ModeMax, detail)
-	e.add("adjoint", "invbiharm_self", invBih, 1e-12, ModeMax, detail)
-	e.add("adjoint", "biharm_roundtrip", roundtrip, 1e-11, ModeMax, "zero-mean fields")
-	e.add("adjoint", "div_grad_vs_lap", divGradLap, 1e-12, ModeMax, "Nyquist-free fields")
+	// Float32 gates: the narrowing noise enters in physical space during
+	// the transpose stages, so operators whose symbols amplify high modes
+	// (Lap ~k^2, Biharm ~k^4) amplify that noise too — their gates scale
+	// with the symbol growth on a 24^3 grid.
+	mach := e.opt.mach
+	e.add("adjoint", "grad_div_negative", gradDiv, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "lap_self", lap, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "veclap_self", vecLap, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "biharm_self", biharm, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "leray_self", leraySym, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "leray_idempotent", lerayIdem, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "invbiharm_self", invBih, mach(1e-12, 3e-6), ModeMax, detail)
+	e.add("adjoint", "biharm_roundtrip", roundtrip, mach(1e-11, 3e-3), ModeMax, "zero-mean fields")
+	e.add("adjoint", "div_grad_vs_lap", divGradLap, mach(1e-12, 3e-5), ModeMax, "Nyquist-free fields")
 
 	e.interpAdjoint(rng)
 	e.interpDistributed(rng)
@@ -194,7 +199,7 @@ func (e *env) interpDistributed(rng *rand.Rand) {
 	})
 	v := randVector(pe, rng)
 	pts := semilag.Departure(pe, v, 0.25)
-	plan := semilag.NewPlan(pe, pts)
+	plan := semilag.NewPlanPrec(pe, pts, e.opt.Precision)
 	got := plan.Interp(local.Data)
 	maxd := 0.0
 	for i := range got {
@@ -202,5 +207,8 @@ func (e *env) interpDistributed(rng *rand.Rand) {
 		maxd = math.Max(maxd, math.Abs(got[i]-want))
 	}
 	maxd = pe.Comm.AllreduceMax(maxd)
-	e.add("adjoint", "interp_dist_vs_serial", maxd, 1e-12, ModeMax, "RK2 departure points")
+	// Under float32 the distributed gather rounds field values and stencil
+	// weights to single precision while the serial reference stays wide, so
+	// agreement is at the eps32 scale rather than bitwise.
+	e.add("adjoint", "interp_dist_vs_serial", maxd, e.opt.mach(1e-12, 2e-6), ModeMax, "RK2 departure points")
 }

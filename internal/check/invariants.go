@@ -41,7 +41,7 @@ func (e *env) runInvariants() {
 	})
 	specE = pe.Comm.AllreduceSum(specE) / float64(pe.Grid.Total())
 	physE := s.Dot(s) / pe.Grid.CellVolume()
-	e.add("invariant", "parseval", relDiff(physE, specE), 1e-12, ModeMax, "")
+	e.add("invariant", "parseval", relDiff(physE, specE), e.opt.mach(1e-12, 1e-6), ModeMax, "")
 
 	ts := transport.NewSolver(ops, nt)
 
@@ -56,14 +56,14 @@ func (e *env) runInvariants() {
 		maxd = math.Max(maxd, math.Abs(x-0.7))
 	}
 	maxd = pe.Comm.AllreduceMax(maxd)
-	e.add("invariant", "transport_constant", maxd, 1e-12, ModeMax, "")
+	e.add("invariant", "transport_constant", maxd, e.opt.mach(1e-12, 3e-6), ModeMax, "")
 
 	// Leray projection leaves a divergence at the roundoff floor, and
 	// solenoidal transport preserves the image mean (mass conservation for
 	// an incompressible flow).
 	vdf := ops.Leray(randVector(pe, rng))
 	vdf.Scale(0.3 / math.Max(vdf.MaxAbs(), 1e-300))
-	e.add("invariant", "leray_div_free", ops.Div(vdf).NormL2()/vdf.NormL2(), 1e-12, ModeMax, "")
+	e.add("invariant", "leray_div_free", ops.Div(vdf).NormL2()/vdf.NormL2(), e.opt.mach(1e-12, 1e-5), ModeMax, "")
 
 	// Mass conservation under a solenoidal flow holds to interpolation
 	// accuracy, not machine precision: the semi-Lagrangian scheme is not
@@ -102,7 +102,7 @@ func (e *env) incompressibleSolve() {
 	res := optim.GaussNewton[*field.Vector](pr.Driver(), field.NewVector(e.pe), nopt)
 	v := res.V
 	e.add("invariant", "incompressible_div", pr.Ops.Div(v).NormL2()/math.Max(v.NormL2(), 1e-300),
-		1e-12, ModeMax, "after constrained solve")
+		e.opt.mach(1e-12, 1e-5), ModeMax, "after constrained solve")
 	ts := pr.TS
 	det := ts.DetGrad(ts.Displacement(ts.NewContext(v, true)))
 	dev := math.Max(math.Abs(det.Min()-1), math.Abs(det.Max()-1))

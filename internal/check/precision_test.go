@@ -1,0 +1,181 @@
+package check
+
+// Mixed-precision acceptance tests at the public solver API: the float32
+// hot path must reproduce the float64 registration result to single
+// precision, the float64 reference path must be unperturbed by the
+// precision plumbing, narrow-wire corruption must surface as a structured
+// CommError exactly like the wide format, and a checkpoint written at one
+// precision must refuse to resume at the other with a typed error.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diffreg"
+	"diffreg/internal/ckpt"
+	"diffreg/internal/mpi"
+)
+
+// TestFloat32SolveMatchesReference solves the same synthetic problem on
+// both numeric paths. The narrow path carries eps32-level noise through
+// the transport and transpose stages, but the reductions accumulate in
+// float64, so the converged misfit agrees to far better than the
+// discretization error. The empty precision string must be bit-identical
+// to the explicit float64 reference — it is the same code path.
+func TestFloat32SolveMatchesReference(t *testing.T) {
+	tmpl, ref := chaosProblem(t)
+	for _, p := range []int{1, 4} {
+		cfg := chaosConfig(p)
+		wide, err := registerBounded(t, tmpl, ref, cfg, 2*time.Minute, "float64")
+		if err != nil {
+			t.Fatalf("p=%d float64: %v", p, err)
+		}
+
+		explicit := cfg
+		explicit.Precision = "float64"
+		eres, err := registerBounded(t, tmpl, ref, explicit, 2*time.Minute, "float64 explicit")
+		if err != nil {
+			t.Fatalf("p=%d explicit float64: %v", p, err)
+		}
+		if eres.MisfitFinal != wide.MisfitFinal || eres.GnormFinal != wide.GnormFinal {
+			t.Errorf("p=%d: explicit float64 is not bit-identical to the default: misfit %v vs %v",
+				p, eres.MisfitFinal, wide.MisfitFinal)
+		}
+
+		narrowCfg := cfg
+		narrowCfg.Precision = "float32"
+		narrow, err := registerBounded(t, tmpl, ref, narrowCfg, 2*time.Minute, "float32")
+		if err != nil {
+			t.Fatalf("p=%d float32: %v", p, err)
+		}
+		if !finiteVal(narrow.MisfitFinal) {
+			t.Fatalf("p=%d: float32 solve diverged: misfit %v", p, narrow.MisfitFinal)
+		}
+		if rel := math.Abs(narrow.MisfitFinal-wide.MisfitFinal) / wide.MisfitFinal; rel > 1e-3 {
+			t.Errorf("p=%d: float32 misfit %g deviates %.2e from float64 %g (want < 1e-3 relative)",
+				p, narrow.MisfitFinal, rel, wide.MisfitFinal)
+		}
+	}
+
+	bad := chaosConfig(1)
+	bad.Precision = "float16"
+	if _, err := diffreg.Register(tmpl, ref, bad); err == nil {
+		t.Error("unknown precision string accepted")
+	}
+}
+
+// TestChaosNarrowWireSites extends the PR 5 fault sweep to the float32
+// wire format: truncation and bit flips on narrow transpose and halo
+// payloads must surface as structured *mpi.CommError (the truncation cuts
+// []float32 payloads to an odd count, severing a complex wire pair
+// mid-element), while delays must be tolerated within the 1% misfit band.
+func TestChaosNarrowWireSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sites are long; run without -short (dedicated CI job)")
+	}
+	tmpl, ref := chaosProblem(t)
+
+	base := chaosConfig(4)
+	base.Precision = "float32"
+	clean, err := registerBounded(t, tmpl, ref, base, 2*time.Minute, "float32 fault-free")
+	if err != nil {
+		t.Fatalf("fault-free float32 baseline: %v", err)
+	}
+
+	sites := []string{
+		"1:fft-comm:send:0:truncate",
+		"2:fft-comm:send:3:bitflip",
+		"0:interp-comm:send:1:truncate",
+		"3:interp-comm:send:2:bitflip",
+		"1:fft-comm:coll:1:truncate",
+		"2:interp-comm:send:0:delay",
+	}
+	detected, completed := 0, 0
+	for i, s := range sites {
+		cfg := base
+		cfg.ChaosSpec = fmt.Sprintf("seed=%d;site=%s", 2000+i, s)
+		label := "float32 site=" + s
+		res, err := registerBounded(t, tmpl, ref, cfg, 2*time.Minute, label)
+		if err != nil {
+			var comm *mpi.CommError
+			if !errors.As(err, &comm) {
+				t.Errorf("%s: error is not a structured CommError: %v", label, err)
+				continue
+			}
+			detected++
+			continue
+		}
+		if !finiteVal(res.MisfitFinal) {
+			t.Errorf("%s: silent divergence: misfit %v", label, res.MisfitFinal)
+			continue
+		}
+		if rel := math.Abs(res.MisfitFinal-clean.MisfitFinal) / clean.MisfitFinal; rel > 0.01 {
+			t.Errorf("%s: misfit %g deviates %.2f%% from fault-free", label, res.MisfitFinal, 100*rel)
+			continue
+		}
+		completed++
+	}
+	t.Logf("narrow-wire chaos: %d sites, %d detected, %d completed", len(sites), detected, completed)
+	if detected == 0 {
+		t.Error("no narrow-wire fault was detected — the float32 format bypasses validation")
+	}
+	if completed == 0 {
+		t.Error("no narrow-wire run completed — tolerated faults break the float32 path")
+	}
+}
+
+// TestCrossPrecisionResumeRejected interrupts a float32 solve with a
+// checkpoint, then attempts to resume it at float64: the v2 header records
+// the write-time precision and the resume must fail with the typed
+// *ckpt.PrecisionMismatchError, never silently continue a float32
+// trajectory on the wide path. Resuming at the matching precision works.
+func TestCrossPrecisionResumeRejected(t *testing.T) {
+	tmpl, ref := chaosProblem(t)
+	ckPath := filepath.Join(t.TempDir(), "reg.ckpt")
+
+	interrupted := diffreg.Config{Tasks: 4, MaxNewtonIters: 6, GradTol: 1e-9,
+		Precision: "float32", CheckpointPath: ckPath, CheckpointEvery: 1}
+	var polls atomic.Int64
+	interrupted.StopRequested = func() bool { return polls.Add(1) > int64(2*4) }
+	ires, err := registerBounded(t, tmpl, ref, interrupted, 3*time.Minute, "interrupted float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ires.Interrupted || ires.CheckpointWriteError != "" {
+		t.Fatalf("interrupt did not flush a checkpoint: %+v", ires)
+	}
+
+	st, err := ckpt.Load(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Precision != "float32" {
+		t.Fatalf("checkpoint recorded precision %q, want float32", st.Precision)
+	}
+
+	cross := diffreg.Config{Tasks: 4, MaxNewtonIters: 6, GradTol: 1e-9,
+		CheckpointPath: ckPath, Resume: true} // defaults to float64
+	var mismatch *ckpt.PrecisionMismatchError
+	if _, err := diffreg.Register(tmpl, ref, cross); !errors.As(err, &mismatch) {
+		t.Fatalf("cross-precision resume: got %v, want *ckpt.PrecisionMismatchError", err)
+	}
+	if mismatch.Written != "float32" || mismatch.Requested != "float64" {
+		t.Errorf("mismatch error fields: written %q requested %q", mismatch.Written, mismatch.Requested)
+	}
+
+	matched := cross
+	matched.Precision = "float32"
+	rres, err := registerBounded(t, tmpl, ref, matched, 3*time.Minute, "resumed float32")
+	if err != nil {
+		t.Fatalf("same-precision resume: %v", err)
+	}
+	if rres.NewtonIters <= ires.NewtonIters {
+		t.Errorf("resumed run did not advance past the interrupt: %d <= %d iters",
+			rres.NewtonIters, ires.NewtonIters)
+	}
+}

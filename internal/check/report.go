@@ -31,13 +31,14 @@ type Finding struct {
 // stable for machines (JSON, gated in CI) and readable for humans
 // (Summary).
 type Report struct {
-	N        int       `json:"n"`     // grid size (N^3)
-	Nt       int       `json:"nt"`    // transport time steps
-	Quick    bool      `json:"quick"` // reduced grid + trial counts
-	Ranks    []int     `json:"ranks"` // process counts exercised
-	Findings []Finding `json:"findings"`
-	Passed   int       `json:"passed"`
-	Failed   int       `json:"failed"`
+	N         int       `json:"n"`         // grid size (N^3)
+	Nt        int       `json:"nt"`        // transport time steps
+	Quick     bool      `json:"quick"`     // reduced grid + trial counts
+	Precision string    `json:"precision"` // numeric mode under test
+	Ranks     []int     `json:"ranks"`     // process counts exercised
+	Findings  []Finding `json:"findings"`
+	Passed    int       `json:"passed"`
+	Failed    int       `json:"failed"`
 }
 
 func (r *Report) add(f Finding) {
@@ -64,7 +65,7 @@ func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ")
 // Summary renders a human-readable table of the findings.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "numerical self-check: N=%d nt=%d ranks=%v quick=%v\n", r.N, r.Nt, r.Ranks, r.Quick)
+	fmt.Fprintf(&b, "numerical self-check: N=%d nt=%d ranks=%v quick=%v precision=%s\n", r.N, r.Nt, r.Ranks, r.Quick, r.Precision)
 	for _, f := range r.Findings {
 		verdict := "PASS"
 		if !f.Pass {

@@ -9,9 +9,16 @@
 // The on-disk format is little-endian binary:
 //
 //	magic   "DREGCKPT"                      (8 bytes)
-//	version uint32                          (currently 1)
+//	version uint32                          (currently 2)
 //	payload fixed fields, history, velocity (see State)
 //	crc     uint64 CRC-64/ECMA of everything above
+//
+// Version 2 added the write-time solver precision to the header: a
+// checkpoint taken on the float32 hot path resumed under float64 (or vice
+// versa) would not reproduce the writing run's trajectory, so the
+// mismatch is a typed *PrecisionMismatchError at resume validation, never
+// a silent reinterpretation. Version 1 files (which predate the precision
+// option) are rejected by the version check.
 //
 // Save writes to a temporary file in the same directory, syncs, and
 // renames over the target, so a crash mid-write never corrupts an existing
@@ -34,7 +41,7 @@ import (
 const magic = "DREGCKPT"
 
 // Version is the current checkpoint format version.
-const Version uint32 = 1
+const Version uint32 = 2
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
@@ -42,6 +49,12 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 type State struct {
 	N     [3]int // grid dimensions
 	Tasks int    // rank count of the writing run (informational)
+
+	// Precision records the hot-path precision the writing run solved at
+	// ("float64" or "float32"; empty decodes as "float64" for symmetry
+	// with the solver default). Resume validation must reject a precision
+	// mismatch — the trajectories are not interchangeable.
+	Precision string
 
 	Beta      float64 // regularization weight of the active level
 	BetaLevel int     // continuation schedule index (0 for single solves)
@@ -71,6 +84,32 @@ func (e *FormatError) Error() string {
 	return fmt.Sprintf("ckpt: %s: %s", e.Path, e.Detail)
 }
 
+// PrecisionMismatchError reports a resume attempt at a different hot-path
+// precision than the checkpoint was written at.
+type PrecisionMismatchError struct {
+	Path      string
+	Written   string // precision recorded in the checkpoint header
+	Requested string // precision of the resuming solve
+}
+
+func (e *PrecisionMismatchError) Error() string {
+	return fmt.Sprintf("ckpt: %s: checkpoint was written at precision %s but the resume requests %s — rerun at the original precision or start fresh",
+		e.Path, e.Written, e.Requested)
+}
+
+// precisionCode maps the header precision string to its wire code. The
+// empty string is the float64 default, matching the solver's zero value.
+func precisionCode(s string) (int64, error) {
+	switch s {
+	case "", "float64":
+		return 0, nil
+	case "float32":
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("ckpt: unknown precision %q", s)
+	}
+}
+
 // encode serializes the payload (everything between version and checksum).
 func encode(st *State) ([]byte, error) {
 	buf := &bytes.Buffer{}
@@ -79,6 +118,11 @@ func encode(st *State) ([]byte, error) {
 		w(int64(st.N[d]))
 	}
 	w(int64(st.Tasks))
+	code, err := precisionCode(st.Precision)
+	if err != nil {
+		return nil, err
+	}
+	w(code)
 	w(st.Beta)
 	w(int64(st.BetaLevel))
 	w(int64(st.Iter))
@@ -192,6 +236,15 @@ func Load(path string) (*State, error) {
 		st.N[i] = int(d.i64())
 	}
 	st.Tasks = int(d.i64())
+	switch code := d.i64(); {
+	case d.err != nil:
+	case code == 0:
+		st.Precision = "float64"
+	case code == 1:
+		st.Precision = "float32"
+	default:
+		return nil, &FormatError{path, fmt.Sprintf("unknown precision code %d", code)}
+	}
 	st.Beta = d.f64()
 	st.BetaLevel = int(d.i64())
 	st.Iter = int(d.i64())

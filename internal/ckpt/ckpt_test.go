@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"errors"
+	"fmt"
 	"hash/crc64"
 	"math"
 	"os"
@@ -129,6 +131,66 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(dir, "ver")); err == nil {
 		t.Error("future version loaded without error")
+	}
+}
+
+// TestPrecisionHeaderRoundTrip pins the v2 precision header: the write-time
+// precision string survives the round trip, with the empty string decoding
+// as the float64 default.
+func TestPrecisionHeaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for i, tc := range []struct{ in, want string }{
+		{"", "float64"},
+		{"float64", "float64"},
+		{"float32", "float32"},
+	} {
+		st := sample()
+		st.Precision = tc.in
+		path := filepath.Join(dir, fmt.Sprintf("p%d.ckpt", i))
+		if err := Save(path, st); err != nil {
+			t.Fatalf("precision %q: %v", tc.in, err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("precision %q: %v", tc.in, err)
+		}
+		if got.Precision != tc.want {
+			t.Errorf("precision %q round-tripped to %q, want %q", tc.in, got.Precision, tc.want)
+		}
+	}
+
+	// A precision string outside the format's vocabulary must refuse to
+	// save rather than write an undecodable header.
+	bad := sample()
+	bad.Precision = "float16"
+	if err := Save(filepath.Join(dir, "bad.ckpt"), bad); err == nil {
+		t.Error("unknown precision string saved without error")
+	}
+}
+
+// TestLoadRejectsUnknownPrecisionCode patches the on-disk precision code to
+// an undefined value (with the CRC recomputed, so only the field validation
+// can catch it) and requires a typed format error.
+func TestLoadRejectsUnknownPrecisionCode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reg.ckpt")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision code offset: magic (8) + version (4) + N (3x8) + Tasks (8).
+	body := append([]byte{}, raw[:len(raw)-8]...)
+	body[44] = 7
+	patched := filepath.Join(dir, "badcode.ckpt")
+	if err := os.WriteFile(patched, appendCRC(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ferr *FormatError
+	if _, err := Load(patched); !errors.As(err, &ferr) {
+		t.Fatalf("unknown precision code: got %v, want *FormatError", err)
 	}
 }
 

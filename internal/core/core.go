@@ -18,6 +18,7 @@ import (
 	"diffreg/internal/optim"
 	"diffreg/internal/par"
 	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
 	"diffreg/internal/regopt"
 	"diffreg/internal/spectral"
 	"diffreg/internal/transport"
@@ -46,6 +47,11 @@ type Config struct {
 	// V0 warm-starts the stationary solve (used by grid continuation);
 	// nil means the zero velocity.
 	V0 *field.Vector
+	// Precision selects the hot-path floating-point width: the transpose
+	// wire format and the semi-Lagrangian gather. The zero value is the
+	// float64 reference path; prec.F32 runs them narrow with float64
+	// accumulation. An injected Ops must have been built at this precision.
+	Precision prec.Precision
 	// Ops injects a prebuilt operator set (FFT plan, symbol tables,
 	// spectral workspaces) instead of building one — the plan-cache path of
 	// the job server. The injected Ops must already be bound to pe (see
@@ -186,9 +192,15 @@ type Outcome struct {
 func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, error) {
 	ops := cfg.Ops
 	if ops == nil {
-		ops = spectral.New(pfft.NewPlan(pe))
+		ops = spectral.New(pfft.NewPlanPrec(pe, cfg.Precision))
 	} else if ops.Pe != pe {
 		return nil, fmt.Errorf("core: injected operator set is bound to a different pencil; Rebind it first")
+	} else if ops.Precision() != cfg.Precision {
+		// The wire format is baked into the plan's workspace arena, so a
+		// cached operator set built at the other precision must never be
+		// silently reused — this is the bug the vestigial PlanCache key hid.
+		return nil, fmt.Errorf("core: injected operator set was built at %s but the solve requests %s",
+			ops.Precision(), cfg.Precision)
 	}
 	if cfg.Smooth {
 		ops.SmoothGridScale(rhoT)
@@ -268,7 +280,7 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 				return
 			}
 			st := &ckpt.State{
-				N: pe.Grid.N, Tasks: pe.Comm.Size(),
+				N: pe.Grid.N, Tasks: pe.Comm.Size(), Precision: cfg.Precision.String(),
 				Beta: curBeta, BetaLevel: curLevel, Iter: prog.Iter,
 				JInit: prog.JInit, MisfitInit: prog.MisfitInit, GnormInit: prog.GnormInit,
 				History: prog.History, V: comps,

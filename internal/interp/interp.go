@@ -27,6 +27,20 @@ func Weights(t float64) [4]float64 {
 	}
 }
 
+// Weights32 is Weights in float32 arithmetic, for the narrow-precision
+// gather. The weights still sum to one up to float32 roundoff.
+func Weights32(t float32) [4]float32 {
+	tm1 := t - 1
+	tm2 := t - 2
+	tp1 := t + 1
+	return [4]float32{
+		-t * tm1 * tm2 / 6,
+		tp1 * tm1 * tm2 / 2,
+		-tp1 * t * tm2 / 2,
+		tp1 * t * tm1 / 6,
+	}
+}
+
 // LinearWeights returns the two linear weights for stencil offsets {0, 1};
 // kept as the baseline scheme for the cubic-vs-linear ablation.
 func LinearWeights(t float64) [2]float64 { return [2]float64{1 - t, t} }

@@ -1,0 +1,156 @@
+// Package mixbench measures the float64-vs-float32 hot path comparison
+// behind `regbench -mixed` and BENCH_pr7.json. It lives outside
+// paperbench because it imports diffreg for the end-to-end solve legs;
+// keeping it separate lets diffreg's in-package tests keep importing
+// paperbench without a cycle (the same split as servebench).
+package mixbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"diffreg"
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/paperbench"
+	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
+)
+
+// PrecisionLeg is one numeric mode's measurements: the transpose wire
+// volume of a batched 3-field forward+inverse pair at 4 ranks, its timing,
+// and an end-to-end registration solve.
+type PrecisionLeg struct {
+	Precision             string  `json:"precision"`
+	FFTCommBytesPerRank   int64   `json:"fft_comm_bytes_per_rank"`
+	TransposeStages       int64   `json:"transpose_stages"`
+	WireBytesPerTranspose float64 `json:"wire_bytes_per_transpose"`
+	RoundtripNsPerOp      float64 `json:"roundtrip_ns_per_op"`
+	SolveSeconds          float64 `json:"solve_seconds"`
+	MisfitFinal           float64 `json:"misfit_final"`
+}
+
+// PrecisionSnapshot is the machine-readable output of `regbench -mixed`:
+// the float64 reference leg against the float32 hot path on the same
+// problem, with the headline ratios. wire_bytes_ratio is exact (the narrow
+// format carries (re, im) float32 pairs in place of complex128 elements);
+// solve_speedup is the measured end-to-end wall-time ratio.
+type PrecisionSnapshot struct {
+	Grid    [3]int       `json:"grid"`
+	Tasks   int          `json:"tasks"`
+	Float64 PrecisionLeg `json:"float64"`
+	Float32 PrecisionLeg `json:"float32"`
+
+	WireBytesRatio float64 `json:"wire_bytes_ratio"`
+	SolveSpeedup   float64 `json:"solve_speedup"`
+	MisfitRelDiff  float64 `json:"misfit_rel_diff"`
+}
+
+// precisionLeg measures one numeric mode at the given grid and rank count.
+func precisionLeg(g grid.Grid, tasks int, pr prec.Precision, solveIters int) (PrecisionLeg, error) {
+	leg := PrecisionLeg{Precision: pr.String()}
+
+	const roundtrips = 4
+	stats, err := mpi.Run(tasks, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		pl := pfft.NewPlanPrec(pe, pr)
+		rng := rand.New(rand.NewSource(int64(41 + c.Rank())))
+		srcs := make([][]float64, 3)
+		for b := range srcs {
+			srcs[b] = make([]float64, pe.LocalTotal())
+			for i := range srcs[b] {
+				srcs[b][i] = rng.NormFloat64()
+			}
+		}
+		// Warm the workspaces, then time outside the measurement of bytes
+		// (the byte counters accumulate across all iterations; they are
+		// normalized by the stage count below).
+		if _, err := pl.ForwardBatch(srcs); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		for i := 0; i < roundtrips; i++ {
+			spec, err := pl.ForwardBatch(srcs)
+			if err != nil {
+				return err
+			}
+			if _, err := pl.InverseBatch(spec); err != nil {
+				return err
+			}
+		}
+		ns := float64(time.Since(t0).Nanoseconds()) / roundtrips
+		if c.Rank() == 0 {
+			leg.RoundtripNsPerOp = ns
+		}
+		return nil
+	})
+	if err != nil {
+		return leg, err
+	}
+	leg.FFTCommBytesPerRank = stats[0].BytesRecv[mpi.PhaseFFTComm]
+	leg.TransposeStages = stats[0].TransposeStages
+	if leg.TransposeStages > 0 {
+		leg.WireBytesPerTranspose = float64(leg.FFTCommBytesPerRank) / float64(leg.TransposeStages)
+	}
+
+	tmpl, ref, err := diffreg.SyntheticProblem(g.N[0], g.N[1], g.N[2], 4, false)
+	if err != nil {
+		return leg, err
+	}
+	cfg := diffreg.Config{Tasks: tasks, Precision: pr.String(),
+		MaxNewtonIters: solveIters, GradTol: 1e-9}
+	t0 := time.Now()
+	res, err := diffreg.Register(tmpl, ref, cfg)
+	if err != nil {
+		return leg, fmt.Errorf("%s solve: %w", pr, err)
+	}
+	leg.SolveSeconds = time.Since(t0).Seconds()
+	leg.MisfitFinal = res.MisfitFinal
+	return leg, nil
+}
+
+// PrecisionBench runs the mixed-precision comparison: 64^3 at 4 ranks
+// (32^3 under quick), 2 Newton iterations per solve.
+func PrecisionBench(quick bool) (paperbench.Report, error) {
+	n := 64
+	if quick {
+		n = 32
+	}
+	g := grid.MustNew(n, n, n)
+	snap := PrecisionSnapshot{Grid: g.N, Tasks: 4}
+
+	var err error
+	if snap.Float64, err = precisionLeg(g, snap.Tasks, prec.F64, 2); err != nil {
+		return paperbench.Report{}, err
+	}
+	if snap.Float32, err = precisionLeg(g, snap.Tasks, prec.F32, 2); err != nil {
+		return paperbench.Report{}, err
+	}
+	if snap.Float64.WireBytesPerTranspose > 0 {
+		snap.WireBytesRatio = snap.Float32.WireBytesPerTranspose / snap.Float64.WireBytesPerTranspose
+	}
+	if snap.Float32.SolveSeconds > 0 {
+		snap.SolveSpeedup = snap.Float64.SolveSeconds / snap.Float32.SolveSeconds
+	}
+	if snap.Float64.MisfitFinal != 0 {
+		snap.MisfitRelDiff = abs(snap.Float32.MisfitFinal-snap.Float64.MisfitFinal) / abs(snap.Float64.MisfitFinal)
+	}
+
+	text, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return paperbench.Report{}, err
+	}
+	return paperbench.Report{Title: "Mixed-precision hot path comparison", Text: string(text)}, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -201,6 +201,31 @@ func (c *Comm) AlltoallvFloat64(send [][]float64) [][]float64 {
 	return recv
 }
 
+// AlltoallvFloat32 is AlltoallvFloat64 for float32 payloads; it is the
+// narrow wire format of the mixed-precision transposes and interpolation
+// exchanges, halving bytes on the wire.
+func (c *Comm) AlltoallvFloat32(send [][]float32) [][]float32 {
+	c.stats.Alltoalls++
+	c.collectiveSite()
+	p := c.Size()
+	if len(send) != p {
+		panic("mpi: alltoallv send length != communicator size")
+	}
+	recv := make([][]float32, p)
+	for dist := 1; dist < p; dist++ {
+		dest := (c.rank + dist) % p
+		c.Send(dest, tagAlltoall, send[dest])
+	}
+	self := make([]float32, len(send[c.rank]))
+	copy(self, send[c.rank])
+	recv[c.rank] = self
+	for dist := 1; dist < p; dist++ {
+		src := (c.rank - dist + p) % p
+		recv[src] = c.Recv(src, tagAlltoall).([]float32)
+	}
+	return recv
+}
+
 // AlltoallvComplex is AlltoallvFloat64 for complex128 payloads; it is the
 // transpose primitive of the distributed FFT.
 func (c *Comm) AlltoallvComplex(send [][]complex128) [][]complex128 {

@@ -361,6 +361,10 @@ func payloadChecksum(data any) uint64 {
 		for _, v := range d {
 			put(f64bits(v))
 		}
+	case []float32:
+		for _, v := range d {
+			put(uint64(math.Float32bits(v)))
+		}
 	case []complex128:
 		for _, v := range d {
 			put(f64bits(real(v)))
@@ -383,6 +387,8 @@ func payloadChecksum(data any) uint64 {
 func payloadLen(data any) int {
 	switch d := data.(type) {
 	case []float64:
+		return len(d)
+	case []float32:
 		return len(d)
 	case []complex128:
 		return len(d)
@@ -407,6 +413,12 @@ func corruptBit(data any, bit int) bool {
 		}
 		i := (bit / 64) % len(d)
 		d[i] = f64frombits(f64bits(d[i]) ^ (1 << (bit % 64)))
+	case []float32:
+		if len(d) == 0 {
+			return false
+		}
+		i := (bit / 32) % len(d)
+		d[i] = math.Float32frombits(math.Float32bits(d[i]) ^ (1 << (bit % 32)))
 	case []complex128:
 		if len(d) == 0 {
 			return false
@@ -452,6 +464,20 @@ func truncatePayload(data any) (any, bool) {
 			return data, false
 		}
 		return d[:cut(len(d))], true
+	case []float32:
+		if len(d) == 0 {
+			return data, false
+		}
+		// float32 payloads carry the narrow transpose wire format, where
+		// one complex value spans two consecutive floats. Cut to an odd
+		// count whenever possible so the truncation severs a wire element
+		// mid-pair: the receiver must reject the ragged tail, never decode
+		// a garbage trailing element.
+		n := cut(len(d))
+		if n%2 == 0 && n+1 < len(d) {
+			n++
+		}
+		return d[:n], true
 	case []complex128:
 		if len(d) == 0 {
 			return data, false

@@ -491,6 +491,8 @@ func payloadBytes(data any) int {
 	switch d := data.(type) {
 	case []float64:
 		return 8 * len(d)
+	case []float32:
+		return 4 * len(d)
 	case []complex128:
 		return 16 * len(d)
 	case []int:
@@ -511,6 +513,10 @@ func clonePayload(data any) any {
 	switch d := data.(type) {
 	case []float64:
 		out := make([]float64, len(d))
+		copy(out, d)
+		return out
+	case []float32:
+		out := make([]float32, len(d))
 		copy(out, d)
 		return out
 	case []complex128:

@@ -25,6 +25,7 @@ import (
 	"diffreg/internal/grid"
 	"diffreg/internal/mpi"
 	"diffreg/internal/par"
+	"diffreg/internal/prec"
 )
 
 // planBuilds and arenaGrows count plan constructions and workspace-arena
@@ -52,6 +53,11 @@ const lineGrain = 8
 // Plan holds the per-rank state of the distributed transform.
 type Plan struct {
 	Pe *grid.Pencil
+
+	// precision selects the transpose wire format. Transforms always run
+	// in complex128; at prec.F32 the packed transpose payloads are encoded
+	// as interleaved (re, im) float32 pairs, halving bytes on the wire.
+	precision prec.Precision
 
 	m3      int    // retained complex length of dim 2 (N3/2+1)
 	specDim [3]int // local spectral dims: (N1, share(N2,p1), share(M3,p2))
@@ -88,6 +94,8 @@ type workspace struct {
 	hdrA, hdrB [][]complex128 // reusable per-field slice headers
 	send       [][]complex128 // per-target headers into sendSlab
 	sendSlab   []complex128   // fused transpose pack buffer
+	send32     [][]float32    // per-target headers into sendSlab32 (F32 wire)
+	sendSlab32 []float32      // narrow transpose pack buffer (F32 wire)
 	line       []complex128   // per-chunk 1D line scratch slab
 	lineLen    int            // scratch complexes per chunk
 	chunkCap   int            // chunk slots in line
@@ -108,11 +116,17 @@ type batchState struct {
 	lines   int // lines per field in the current stage
 }
 
-// NewPlan builds a transform plan for the pencil decomposition.
-func NewPlan(pe *grid.Pencil) *Plan {
+// NewPlan builds a transform plan for the pencil decomposition at the
+// float64 reference precision.
+func NewPlan(pe *grid.Pencil) *Plan { return NewPlanPrec(pe, prec.F64) }
+
+// NewPlanPrec builds a transform plan whose transpose wire format runs at
+// the given precision. The local 1D transforms always execute in
+// complex128; only the packed all-to-all payloads narrow.
+func NewPlanPrec(pe *grid.Pencil, p prec.Precision) *Plan {
 	planBuilds.Add(1)
 	n := pe.Grid.N
-	pl := &Plan{Pe: pe, m3: fft.HalfLen(n[2])}
+	pl := &Plan{Pe: pe, precision: p, m3: fft.HalfLen(n[2])}
 	pl.plan1 = fft.NewPlan(n[0])
 	pl.plan2 = fft.NewPlan(n[1])
 	pl.plan3 = fft.NewPlan(n[2])
@@ -154,6 +168,11 @@ func (pl *Plan) Rebind(pe *grid.Pencil) error {
 	pl.Pe = pe
 	return nil
 }
+
+// Precision returns the wire-format precision the plan was built at. A
+// cached plan must only be rebound into a solve requesting the same
+// precision: the wire format is baked into the workspace arena.
+func (pl *Plan) Precision() prec.Precision { return pl.precision }
 
 // buildKernels constructs the three pool kernels once; they read the
 // current stage parameters from pl.st and per-chunk scratch from the arena.
@@ -246,7 +265,14 @@ func (pl *Plan) ensureBatch(b int) {
 	if q := max(pl.Pe.P[0], pl.Pe.P[1]); len(ws.send) < q {
 		ws.send = make([][]complex128, q)
 	}
-	ws.sendSlab = make([]complex128, b*ws.stageMax)
+	if pl.precision == prec.F32 {
+		if q := max(pl.Pe.P[0], pl.Pe.P[1]); len(ws.send32) < q {
+			ws.send32 = make([][]float32, q)
+		}
+		ws.sendSlab32 = make([]float32, 2*b*ws.stageMax)
+	} else {
+		ws.sendSlab = make([]complex128, b*ws.stageMax)
+	}
 	n := pl.Pe.Grid.N
 	ws.lineLen = pl.plan3.RealWorkLen()
 	if l := 2*n[0] + pl.plan1.WorkLen(); l > ws.lineLen {
@@ -586,6 +612,9 @@ func (pl *Plan) InverseBatchInto(specs [][]complex128, outs [][]float64) error {
 // Callers skip trivial communicators (size 1) entirely — the shares are
 // the whole axes, so the block is already in its destination layout.
 func (pl *Plan) reshuffleBatch(c *mpi.Comm, src, dst [][]complex128, dims [3]int, u, s, gu int) [3]int {
+	if pl.precision == prec.F32 {
+		return pl.reshuffleBatch32(c, src, dst, dims, u, s, gu)
+	}
 	q := c.Size()
 	B := len(src)
 	old := c.SetPhase(mpi.PhaseFFTComm)
@@ -628,6 +657,64 @@ func (pl *Plan) reshuffleBatch(c *mpi.Comm, src, dst [][]complex128, dims [3]int
 	return newDims
 }
 
+// reshuffleBatch32 is the narrow-precision transpose: identical block
+// schedule to reshuffleBatch, but payloads travel as interleaved (re, im)
+// float32 pairs — half the wire bytes per coefficient. The mpi envelope
+// (length + checksum) guards the bytes in flight; on top of that the
+// decode validates the narrow framing per source — an even float count
+// matching exactly 2·B·blkTot — and raises a typed *mpi.CommError on a
+// ragged tail rather than decoding a garbage trailing element.
+func (pl *Plan) reshuffleBatch32(c *mpi.Comm, src, dst [][]complex128, dims [3]int, u, s, gu int) [3]int {
+	q := c.Size()
+	B := len(src)
+	old := c.SetPhase(mpi.PhaseFFTComm)
+	defer c.SetPhase(old)
+	c.CountTranspose(B)
+
+	ws := &pl.ws
+	pos := 0
+	for t := 0; t < q; t++ {
+		lo, hi := grid.Share(dims[s], q, t)
+		blk := dims
+		blk[s] = hi - lo
+		off := [3]int{}
+		off[s] = lo
+		blkTot := blk[0] * blk[1] * blk[2]
+		part := ws.sendSlab32[pos : pos+2*B*blkTot]
+		pos += 2 * B * blkTot
+		for b := 0; b < B; b++ {
+			packBlockInto32(part[2*b*blkTot:2*(b+1)*blkTot], src[b], dims, off, blk)
+		}
+		ws.send32[t] = part
+	}
+	recv := c.AlltoallvFloat32(ws.send32[:q])
+
+	myLoS, myHiS := grid.Share(dims[s], q, c.Rank())
+	newDims := dims
+	newDims[u] = gu
+	newDims[s] = myHiS - myLoS
+	for r := 0; r < q; r++ {
+		loU, hiU := grid.Share(gu, q, r)
+		blk := newDims
+		blk[u] = hiU - loU
+		off := [3]int{}
+		off[u] = loU
+		blkTot := blk[0] * blk[1] * blk[2]
+		if len(recv[r])%2 != 0 || len(recv[r]) != 2*B*blkTot {
+			mpi.Raise(&mpi.CommError{
+				Rank:   c.Rank(),
+				Phase:  mpi.PhaseFFTComm,
+				Op:     "alltoallv-f32",
+				Detail: fmt.Sprintf("narrow transpose payload from source %d: %d floats, want %d (B=%d, block %v)", r, len(recv[r]), 2*B*blkTot, B, blk),
+			})
+		}
+		for b := 0; b < B; b++ {
+			unpackBlock32(dst[b], newDims, off, blk, recv[r][2*b*blkTot:2*(b+1)*blkTot])
+		}
+	}
+	return newDims
+}
+
 // packBlockInto extracts the sub-block of a 3D array starting at off with
 // the given block dimensions into the caller's contiguous slice.
 func packBlockInto(out, src []complex128, dims, off, blk [3]int) {
@@ -649,6 +736,38 @@ func unpackBlock(dst []complex128, dims, off, blk [3]int, src []complex128) {
 			base := ((off[0]+i0)*dims[1]+(off[1]+i1))*dims[2] + off[2]
 			copy(dst[base:base+blk[2]], src[pos:pos+blk[2]])
 			pos += blk[2]
+		}
+	}
+}
+
+// packBlockInto32 is packBlockInto encoding each complex coefficient as an
+// interleaved (re, im) float32 pair; out has 2x the block's element count.
+func packBlockInto32(out []float32, src []complex128, dims, off, blk [3]int) {
+	pos := 0
+	for i0 := 0; i0 < blk[0]; i0++ {
+		for i1 := 0; i1 < blk[1]; i1++ {
+			base := ((off[0]+i0)*dims[1]+(off[1]+i1))*dims[2] + off[2]
+			for _, v := range src[base : base+blk[2]] {
+				out[pos] = float32(real(v))
+				out[pos+1] = float32(imag(v))
+				pos += 2
+			}
+		}
+	}
+}
+
+// unpackBlock32 decodes interleaved (re, im) float32 pairs back into the
+// sub-region of dst at off.
+func unpackBlock32(dst []complex128, dims, off, blk [3]int, src []float32) {
+	pos := 0
+	for i0 := 0; i0 < blk[0]; i0++ {
+		for i1 := 0; i1 < blk[1]; i1++ {
+			base := ((off[0]+i0)*dims[1]+(off[1]+i1))*dims[2] + off[2]
+			row := dst[base : base+blk[2]]
+			for j := range row {
+				row[j] = complex(float64(src[pos]), float64(src[pos+1]))
+				pos += 2
+			}
 		}
 	}
 }

@@ -1,0 +1,54 @@
+// Package prec names the floating-point precision a solver pipeline runs
+// its hot paths at. The float64 path is the bit-exact reference; the
+// float32 path narrows the pencil-transpose wire format and the
+// semi-Lagrangian gather while keeping every reduction (misfit, gradient
+// inner products, conservation sums) accumulated in float64, following
+// the GPU CLAIRE mixed-precision recipe (arXiv:2401.17493).
+package prec
+
+import "fmt"
+
+// Precision selects the hot-path floating-point width. The zero value is
+// F64, so existing call sites that never mention precision keep the
+// reference behaviour.
+type Precision int
+
+const (
+	// F64 is the full float64 reference path (default).
+	F64 Precision = iota
+	// F32 runs transport/interpolation kernels and the pencil-transpose
+	// wire format in float32 with float64 accumulation.
+	F32
+)
+
+// String returns the canonical spelling used by CLI flags, JSON specs,
+// and checkpoint headers.
+func (p Precision) String() string {
+	if p == F32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// WireBytesPerValue returns the bytes one real scalar occupies on the
+// transpose wire at this precision.
+func (p Precision) WireBytesPerValue() int {
+	if p == F32 {
+		return 4
+	}
+	return 8
+}
+
+// Parse maps user-facing spellings to a Precision. The empty string means
+// the default (float64) so optional flags and omitted JSON fields work
+// unchanged.
+func Parse(s string) (Precision, error) {
+	switch s {
+	case "", "float64", "f64", "fp64", "double":
+		return F64, nil
+	case "float32", "f32", "fp32", "single":
+		return F32, nil
+	default:
+		return F64, fmt.Errorf("prec: unknown precision %q (want float64 or float32)", s)
+	}
+}

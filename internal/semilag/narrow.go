@@ -1,0 +1,250 @@
+package semilag
+
+// The float32 interpolation path. Coordinates and the communication plan
+// stay float64 (departure points keep full precision), but the three hot
+// costs narrow: the halo-padded field copy, the 64-coefficient tricubic
+// gather, and the value-return exchange. Following the GPU CLAIRE
+// mixed-precision recipe, everything downstream of the returned values
+// (misfit, gradients, conservation sums) still accumulates in float64 —
+// the conversion happens exactly once, at the scatter back into the
+// caller's float64 outputs.
+
+import (
+	"time"
+
+	"diffreg/internal/grid"
+	"diffreg/internal/interp"
+	"diffreg/internal/mpi"
+	"diffreg/internal/par"
+)
+
+// soaBlock is the point-block width of the narrow gather: sweep 1 stages
+// indices and weights for a block into stack-resident SoA arrays, sweep 2
+// streams the gathers. Small enough to keep the staging in L1 alongside
+// the stencil lines.
+const soaBlock = 64
+
+// interpMany32 is InterpMany on the narrow path.
+func (pl *Plan) interpMany32(fields [][]float64) [][]float64 {
+	pe := pl.Pe
+	p := pe.Comm.Size()
+	nf := len(fields)
+	vals := make([][]float32, p)
+	for r := 0; r < p; r++ {
+		vals[r] = make([]float32, nf*len(pl.recvPts[r])/3)
+	}
+	pd := pl.Ghost.PaddedDims()
+	for fi, f := range fields {
+		pe.Comm.CountInterp(int64(pl.NQ))
+		padded := pl.Ghost.Pad32(f)
+		t0 := time.Now()
+		for r := 0; r < p; r++ {
+			pts := pl.recvPts[r]
+			npts := len(pts) / 3
+			out := vals[r][fi*npts : (fi+1)*npts]
+			orig := pl.origIdx[r]
+			par.Chunked(npts, interpGrain, func(lo, hi int) {
+				evalBlock32(padded, pd, pe, pts, lo, hi, out, orig)
+			})
+			pl.Evals += int64(npts)
+		}
+		pe.Comm.AddExec(mpi.PhaseInterpExec, time.Since(t0).Seconds())
+	}
+	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+	back := pe.Comm.AlltoallvFloat32(vals)
+	pe.Comm.SetPhase(old)
+
+	outs := make([][]float64, nf)
+	for fi := range outs {
+		outs[fi] = make([]float64, pl.NQ)
+	}
+	for r := 0; r < p; r++ {
+		idx := pl.sendIdx[r]
+		npts := len(idx)
+		for fi := 0; fi < nf; fi++ {
+			seg := back[r][fi*npts : (fi+1)*npts]
+			for j, slot := range idx {
+				outs[fi][slot] = float64(seg[j])
+			}
+		}
+	}
+	return outs
+}
+
+// evalBlock32 evaluates the sorted points [lo, hi) against a float32
+// padded field in blocked SoA form: one index/weight staging sweep, then
+// one gather sweep whose inner dimension-2 line is a contiguous 4-wide
+// multiply-add the compiler can keep in vector registers. Points whose
+// dimension-2 stencil wraps the periodic boundary fall back to the
+// indexed gather.
+func evalBlock32(f []float32, pd [3]int, pe *grid.Pencil, pts []float64, lo, hi int, out []float32, orig []int32) {
+	n := pe.Grid.N
+	n3 := n[2]
+	stride1 := pd[1] * pd[2]
+	stride2 := pd[2]
+	var corner [soaBlock]int32
+	var i3s [soaBlock]int32
+	var w1s, w2s, w3s [soaBlock][4]float32
+	for blo := lo; blo < hi; blo += soaBlock {
+		bhi := blo + soaBlock
+		if bhi > hi {
+			bhi = hi
+		}
+		nb := bhi - blo
+		for k := 0; k < nb; k++ {
+			q := blo + k
+			i1, t1 := interp.SplitIndex(pts[3*q], n[0])
+			i2, t2 := interp.SplitIndex(pts[3*q+1], n[1])
+			i3, t3 := interp.SplitIndex(pts[3*q+2], n3)
+			li1 := i1 - pe.Lo[0] + GhostWidth
+			li2 := i2 - pe.Lo[1] + GhostWidth
+			corner[k] = int32((li1-1)*stride1 + (li2-1)*stride2)
+			i3s[k] = int32(i3)
+			w1s[k] = interp.Weights32(float32(t1))
+			w2s[k] = interp.Weights32(float32(t2))
+			w3s[k] = interp.Weights32(float32(t3))
+		}
+		for k := 0; k < nb; k++ {
+			i3 := int(i3s[k])
+			w1, w2, w3 := &w1s[k], &w2s[k], &w3s[k]
+			var sum float32
+			if i3 >= 1 && i3 <= n3-3 {
+				base := int(corner[k]) + i3 - 1
+				for a := 0; a < 4; a++ {
+					ra := base + a*stride1
+					for b := 0; b < 4; b++ {
+						row := f[ra+b*stride2 : ra+b*stride2+4 : ra+b*stride2+4]
+						sum += w1[a] * w2[b] *
+							(w3[0]*row[0] + w3[1]*row[1] + w3[2]*row[2] + w3[3]*row[3])
+					}
+				}
+			} else {
+				var idx3 [4]int
+				for c := 0; c < 4; c++ {
+					j := i3 + c - 1
+					if j < 0 {
+						j += n3
+					} else if j >= n3 {
+						j -= n3
+					}
+					idx3[c] = j
+				}
+				base := int(corner[k])
+				for a := 0; a < 4; a++ {
+					ra := base + a*stride1
+					for b := 0; b < 4; b++ {
+						rb := ra + b*stride2
+						sum += w1[a] * w2[b] *
+							(w3[0]*f[rb+idx3[0]] + w3[1]*f[rb+idx3[1]] +
+								w3[2]*f[rb+idx3[2]] + w3[3]*f[rb+idx3[3]])
+					}
+				}
+			}
+			out[orig[blo+k]] = sum
+		}
+	}
+}
+
+// Pad32 is Ghost.Pad producing a float32 padded array: the field narrows
+// once on the interior copy, and the halo layers travel the same
+// neighbor-exchange pattern (same tags, same cost structure) as float32
+// payloads — half the halo bytes of the reference path.
+func (g *Ghost) Pad32(f []float64) []float32 {
+	pe := g.Pe
+	const G = GhostWidth
+	n1, n2, n3 := pe.Local(0), pe.Local(1), pe.Local(2)
+	p1, p2 := pe.P[0], pe.P[1]
+	pd := g.PaddedDims()
+	out := make([]float32, pd[0]*pd[1]*pd[2])
+
+	// Interior copy, narrowing element-wise.
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			src := (i1*n2 + i2) * n3
+			dst := ((i1+G)*pd[1] + (i2 + G)) * pd[2]
+			row := f[src : src+n3]
+			for j, v := range row {
+				out[dst+j] = float32(v)
+			}
+		}
+	}
+
+	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+	defer pe.Comm.SetPhase(old)
+
+	// Phase A: rows along dimension 0 within the column communicator.
+	rowBlock := func(i1lo int) []float32 {
+		blk := make([]float32, G*n2*n3)
+		pos := 0
+		for i1 := i1lo; i1 < i1lo+G; i1++ {
+			src := i1 * n2 * n3
+			for _, v := range f[src : src+n2*n3] {
+				blk[pos] = float32(v)
+				pos++
+			}
+		}
+		return blk
+	}
+	placeRows := func(pi1lo int, blk []float32) {
+		pos := 0
+		for i1 := 0; i1 < G; i1++ {
+			for i2 := 0; i2 < n2; i2++ {
+				dst := ((pi1lo+i1)*pd[1] + (i2 + G)) * pd[2]
+				copy(out[dst:dst+n3], blk[pos:pos+n3])
+				pos += n3
+			}
+		}
+	}
+	if p1 == 1 {
+		placeRows(0, rowBlock(n1-G))
+		placeRows(n1+G, rowBlock(0))
+	} else {
+		col := pe.Col
+		up := (pe.Coord[0] + 1) % p1
+		down := (pe.Coord[0] - 1 + p1) % p1
+		const tagUp, tagDown = 101, 102
+		col.Send(up, tagUp, rowBlock(n1-G))
+		col.Send(down, tagDown, rowBlock(0))
+		placeRows(0, col.Recv(down, tagUp).([]float32))
+		placeRows(n1+G, col.Recv(up, tagDown).([]float32))
+	}
+
+	// Phase B: slabs along dimension 1 within the row communicator; slabs
+	// span the full padded dimension 0, so corner halos arrive for free.
+	colBlock := func(pi2lo int) []float32 {
+		blk := make([]float32, pd[0]*G*n3)
+		pos := 0
+		for pi1 := 0; pi1 < pd[0]; pi1++ {
+			for i2 := pi2lo; i2 < pi2lo+G; i2++ {
+				src := (pi1*pd[1] + i2) * pd[2]
+				copy(blk[pos:pos+n3], out[src:src+n3])
+				pos += n3
+			}
+		}
+		return blk
+	}
+	placeCols := func(pi2lo int, blk []float32) {
+		pos := 0
+		for pi1 := 0; pi1 < pd[0]; pi1++ {
+			for i2 := 0; i2 < G; i2++ {
+				dst := (pi1*pd[1] + pi2lo + i2) * pd[2]
+				copy(out[dst:dst+n3], blk[pos:pos+n3])
+				pos += n3
+			}
+		}
+	}
+	if p2 == 1 {
+		placeCols(0, colBlock(n2))
+		placeCols(n2+G, colBlock(G))
+	} else {
+		row := pe.Row
+		right := (pe.Coord[1] + 1) % p2
+		left := (pe.Coord[1] - 1 + p2) % p2
+		const tagRight, tagLeft = 103, 104
+		row.Send(right, tagRight, colBlock(n2))
+		row.Send(left, tagLeft, colBlock(G))
+		placeCols(0, row.Recv(left, tagRight).([]float32))
+		placeCols(n2+G, row.Recv(right, tagLeft).([]float32))
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"diffreg/internal/interp"
 	"diffreg/internal/mpi"
 	"diffreg/internal/par"
+	"diffreg/internal/prec"
 )
 
 // BadPointError reports a non-finite semi-Lagrangian departure point —
@@ -47,6 +48,11 @@ type Plan struct {
 	Ghost *Ghost
 	NQ    int // number of local query points
 
+	// precision selects the evaluation path: at prec.F32 the padded field,
+	// the tricubic gather, and the value-return exchange run in float32
+	// (see narrow.go). Coordinates and the communication plan stay float64.
+	precision prec.Precision
+
 	sendIdx [][]int32   // per dest rank: local output slot of each query
 	recvPts [][]float64 // per source rank: packed (x1,x2,x3) to evaluate
 	// recvPts is stored sorted by base cell so the 64-value tricubic
@@ -66,11 +72,17 @@ type Plan struct {
 
 // NewPlan builds a plan for the given query points, expressed in global
 // grid-index coordinates (one slice per dimension, equal lengths). Points
-// may lie anywhere; they are wrapped periodically.
+// may lie anywhere; they are wrapped periodically. Evaluation runs at the
+// float64 reference precision.
 func NewPlan(pe *grid.Pencil, pts [3][]float64) *Plan {
+	return NewPlanPrec(pe, pts, prec.F64)
+}
+
+// NewPlanPrec is NewPlan with an explicit evaluation precision.
+func NewPlanPrec(pe *grid.Pencil, pts [3][]float64, pr prec.Precision) *Plan {
 	nq := len(pts[0])
 	p := pe.Comm.Size()
-	pl := &Plan{Pe: pe, Ghost: NewGhost(pe), NQ: nq}
+	pl := &Plan{Pe: pe, Ghost: NewGhost(pe), NQ: nq, precision: pr}
 
 	sendIdx := make([][]int32, p)
 	sendPts := make([][]float64, p)
@@ -166,6 +178,9 @@ func wrapCoord(x float64, n int) float64 {
 // are ordered like the original query points. All fields share one value
 // return exchange; each field needs its own halo update.
 func (pl *Plan) InterpMany(fields ...[]float64) [][]float64 {
+	if pl.precision == prec.F32 {
+		return pl.interpMany32(fields)
+	}
 	pe := pl.Pe
 	p := pe.Comm.Size()
 	nf := len(fields)
@@ -263,6 +278,13 @@ func evalPadded(f []float64, pd [3]int, pe *grid.Pencil, x1, x2, x3 float64) flo
 // velocity is in physical units on the domain [0, 2*pi)^3; the returned
 // coordinates are in global grid-index space, ready for NewPlan.
 func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
+	return DeparturePrec(pe, v, dt, prec.F64)
+}
+
+// DeparturePrec is Departure evaluating the intermediate velocity
+// interpolation at the given precision. The coordinate arithmetic itself
+// stays float64 at either precision.
+func DeparturePrec(pe *grid.Pencil, v *field.Vector, dt float64, pr prec.Precision) [3][]float64 {
 	n := pe.LocalTotal()
 	h := [3]float64{pe.Grid.Spacing(0), pe.Grid.Spacing(1), pe.Grid.Spacing(2)}
 	var star [3][]float64
@@ -274,7 +296,7 @@ func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
 		star[1][idx] = float64(pe.Lo[1]+i2) - dt*v.C[1].Data[idx]/h[1]
 		star[2][idx] = float64(pe.Lo[2]+i3) - dt*v.C[2].Data[idx]/h[2]
 	})
-	planStar := NewPlan(pe, star)
+	planStar := NewPlanPrec(pe, star, pr)
 	vStar := planStar.InterpMany(v.C[0].Data, v.C[1].Data, v.C[2].Data)
 	var dep [3][]float64
 	for d := 0; d < 3; d++ {

@@ -14,12 +14,13 @@ import (
 )
 
 // planKey identifies one cacheable operator-set shape. Precision is part
-// of the key so a future float32 pipeline caches separately from float64;
-// today every entry is "f64".
+// of the key because the transpose wire format is baked into a plan's
+// workspace arena: a float32 job must never check out an entry built at
+// float64 (or vice versa) — the solve would run the wrong wire format.
 type planKey struct {
 	N         [3]int
 	Tasks     int
-	Precision string
+	Precision string // canonical prec string: "float64" | "float32"
 }
 
 // planEntry is one retained per-rank operator-set collection. refs > 0
@@ -68,9 +69,15 @@ func NewPlanCache(capacity int) *PlanCache {
 
 // Acquire implements diffreg.PlanSource. It never blocks: a busy or absent
 // key yields a miss lease whose Ops(rank) is nil, and the job builds (and
-// then donates) its own operator sets.
-func (pc *PlanCache) Acquire(n [3]int, tasks int) diffreg.PlanLease {
-	key := planKey{N: n, Tasks: tasks, Precision: "f64"}
+// then donates) its own operator sets. precision must be the canonical
+// string diffreg passes ("float64" or "float32"); it used to be hardcoded
+// to a single value here, which made the precision keying vestigial and
+// would have handed float32 jobs entries built at float64.
+func (pc *PlanCache) Acquire(n [3]int, tasks int, precision string) diffreg.PlanLease {
+	if precision == "" {
+		precision = "float64"
+	}
+	key := planKey{N: n, Tasks: tasks, Precision: precision}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	pc.clock++

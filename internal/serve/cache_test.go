@@ -27,7 +27,7 @@ func dummyOps(tasks int) []*spectral.Ops {
 // the public miss-lease path and returns the donated sets.
 func install(t *testing.T, pc *PlanCache, n [3]int, tasks int) []*spectral.Ops {
 	t.Helper()
-	lease := pc.Acquire(n, tasks).(*planLease)
+	lease := pc.Acquire(n, tasks, "float64").(*planLease)
 	if lease.Hit() {
 		t.Fatalf("expected a miss for %v/%d", n, tasks)
 	}
@@ -44,7 +44,7 @@ func TestPlanCacheMissThenHit(t *testing.T) {
 	n := [3]int{16, 16, 16}
 	donated := install(t, pc, n, 4)
 
-	lease := pc.Acquire(n, 4).(*planLease)
+	lease := pc.Acquire(n, 4, "float64").(*planLease)
 	if !lease.Hit() {
 		t.Fatalf("second acquire of the same key should hit: %+v", pc.Stats())
 	}
@@ -72,11 +72,59 @@ func TestPlanCacheKeySeparatesShapeAndTasks(t *testing.T) {
 		{[3]int{16, 16, 16}, 2}, // same grid, different world size
 		{[3]int{20, 16, 16}, 4}, // different grid, same world size
 	} {
-		if l := pc.Acquire(probe.n, probe.tasks).(*planLease); l.Hit() {
+		if l := pc.Acquire(probe.n, probe.tasks, "float64").(*planLease); l.Hit() {
 			t.Fatalf("acquire %v/%d must miss: key collision", probe.n, probe.tasks)
 		} else {
 			l.Release()
 		}
+	}
+}
+
+// TestPlanCachePrecisionKeying is the regression test for the vestigial
+// precision key: Acquire used to hardcode one precision string into the
+// planKey, so a float32 job of the same (n, tasks) shape would check out an
+// entry whose workspace arena was built for the float64 wire format. The
+// two precisions must be distinct cache keys, and the empty string must
+// normalize onto the float64 default rather than forming a third key.
+func TestPlanCachePrecisionKeying(t *testing.T) {
+	pc := NewPlanCache(8)
+	n := [3]int{16, 16, 16}
+	wide := install(t, pc, n, 4) // installs under "float64"
+
+	// Same shape at float32 must miss — this fails on the unfixed path,
+	// which would hand over the float64 entry.
+	narrowLease := pc.Acquire(n, 4, "float32").(*planLease)
+	if narrowLease.Hit() {
+		t.Fatal("float32 acquire hit a float64 entry: precision is not part of the effective key")
+	}
+	narrow := dummyOps(4)
+	for r, o := range narrow {
+		narrowLease.Put(r, o)
+	}
+	narrowLease.Release()
+
+	// Both precisions now resident: each acquire gets its own entry back.
+	for _, tc := range []struct {
+		precision string
+		want      []*spectral.Ops
+	}{
+		{"float32", narrow},
+		{"float64", wide},
+		{"", wide}, // empty normalizes to the float64 default
+	} {
+		l := pc.Acquire(n, 4, tc.precision).(*planLease)
+		if !l.Hit() {
+			t.Fatalf("precision %q: expected hit, stats %+v", tc.precision, pc.Stats())
+		}
+		for r := 0; r < 4; r++ {
+			if l.Ops(r) != tc.want[r] {
+				t.Fatalf("precision %q rank %d: wrong entry checked out", tc.precision, r)
+			}
+		}
+		l.Release()
+	}
+	if st := pc.Stats(); st.Entries != 2 {
+		t.Fatalf("expected one entry per precision: %+v", st)
 	}
 }
 
@@ -85,13 +133,13 @@ func TestPlanCacheCheckoutIsExclusive(t *testing.T) {
 	n := [3]int{16, 16, 16}
 	install(t, pc, n, 2)
 
-	first := pc.Acquire(n, 2).(*planLease)
+	first := pc.Acquire(n, 2, "float64").(*planLease)
 	if !first.Hit() {
 		t.Fatal("first acquire should hit")
 	}
 	// The single entry is checked out: a concurrent job of the same shape
 	// must miss (single-owner plans), then donate a second entry back.
-	second := pc.Acquire(n, 2).(*planLease)
+	second := pc.Acquire(n, 2, "float64").(*planLease)
 	if second.Hit() {
 		t.Fatal("second concurrent acquire must miss while the entry is checked out")
 	}
@@ -112,7 +160,7 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	install(t, pc, a, 1)
 	install(t, pc, b, 1)
 	// Touch a so b becomes the LRU entry.
-	l := pc.Acquire(a, 1).(*planLease)
+	l := pc.Acquire(a, 1, "float64").(*planLease)
 	if !l.Hit() {
 		t.Fatal("a should hit")
 	}
@@ -124,13 +172,13 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 	if st.Evictions != 1 || st.Entries != 2 {
 		t.Fatalf("expected one eviction at capacity 2: %+v", st)
 	}
-	if l := pc.Acquire(b, 1).(*planLease); l.Hit() {
+	if l := pc.Acquire(b, 1, "float64").(*planLease); l.Hit() {
 		t.Fatal("LRU entry b should have been evicted")
 	} else {
 		l.Release()
 	}
 	for _, n := range [][3]int{a, c} {
-		l := pc.Acquire(n, 1).(*planLease)
+		l := pc.Acquire(n, 1, "float64").(*planLease)
 		if !l.Hit() {
 			t.Fatalf("entry %v should have survived eviction", n)
 		}
@@ -143,7 +191,7 @@ func TestPlanCacheRefcountPinsInUseEntry(t *testing.T) {
 	pinned := [3]int{8, 8, 8}
 	install(t, pc, pinned, 1)
 
-	lease := pc.Acquire(pinned, 1).(*planLease)
+	lease := pc.Acquire(pinned, 1, "float64").(*planLease)
 	if !lease.Hit() {
 		t.Fatal("expected hit on the pinned entry")
 	}
@@ -156,7 +204,7 @@ func TestPlanCacheRefcountPinsInUseEntry(t *testing.T) {
 	install(t, pc, [3]int{16, 16, 16}, 1)
 	lease.Release()
 
-	got := pc.Acquire(pinned, 1).(*planLease)
+	got := pc.Acquire(pinned, 1, "float64").(*planLease)
 	if !got.Hit() {
 		t.Fatalf("pinned entry was evicted while checked out: %+v", pc.Stats())
 	}
@@ -166,7 +214,7 @@ func TestPlanCacheRefcountPinsInUseEntry(t *testing.T) {
 func TestPlanCacheIncompleteDonationDropped(t *testing.T) {
 	pc := NewPlanCache(4)
 	n := [3]int{16, 16, 16}
-	lease := pc.Acquire(n, 4).(*planLease)
+	lease := pc.Acquire(n, 4, "float64").(*planLease)
 	lease.Put(0, &spectral.Ops{}) // ranks 1..3 never donate (failed job)
 	lease.Put(2, &spectral.Ops{})
 	lease.Release()
@@ -184,7 +232,7 @@ func TestPlanCacheZeroCapacityStaysCold(t *testing.T) {
 	pc := NewPlanCache(0)
 	n := [3]int{8, 8, 8}
 	install(t, pc, n, 1)
-	if l := pc.Acquire(n, 1).(*planLease); l.Hit() {
+	if l := pc.Acquire(n, 1, "float64").(*planLease); l.Hit() {
 		t.Fatal("capacity-0 cache must never hit")
 	} else {
 		l.Release()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"diffreg"
+	"diffreg/internal/prec"
 )
 
 // JobSpec is the JSON body of a job submission. Inputs are either a named
@@ -29,7 +30,8 @@ type JobSpec struct {
 	Reg               string    `json:"reg,omitempty"` // "h1" | "h2" (default)
 	Incompressible    bool      `json:"incompressible,omitempty"`
 	DivPenalty        float64   `json:"div_penalty,omitempty"`
-	Distance          string    `json:"distance,omitempty"` // "l2" | "ncc"
+	Distance          string    `json:"distance,omitempty"`  // "l2" | "ncc"
+	Precision         string    `json:"precision,omitempty"` // "float64" (default) | "float32"
 	TimeSteps         int       `json:"time_steps,omitempty"`
 	VelocityIntervals int       `json:"velocity_intervals,omitempty"`
 	FullNewton        bool      `json:"full_newton,omitempty"`
@@ -92,6 +94,9 @@ func (s *JobSpec) Validate() error {
 	default:
 		return fmt.Errorf("unknown distance %q (l2 | ncc)", s.Distance)
 	}
+	if _, err := prec.Parse(s.Precision); err != nil {
+		return fmt.Errorf("unknown precision %q (float64 | float32)", s.Precision)
+	}
 	if s.Beta < 0 || s.GradTol < 0 || s.MaxNewtonIters < 0 || s.MaxKrylovIters < 0 || s.TimeSteps < 0 {
 		return fmt.Errorf("solver knobs must be non-negative")
 	}
@@ -125,6 +130,7 @@ func (s *JobSpec) config() diffreg.Config {
 		Incompressible:       s.Incompressible,
 		DivPenalty:           s.DivPenalty,
 		Distance:             s.Distance,
+		Precision:            s.Precision,
 		TimeSteps:            s.TimeSteps,
 		VelocityIntervals:    s.VelocityIntervals,
 		FullNewton:           s.FullNewton,

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -428,6 +429,93 @@ func TestEventStreamNDJSON(t *testing.T) {
 			if ev.Progress == nil || !isFinite(ev.Progress.J) || !isFinite(ev.Progress.Gnorm) {
 				t.Fatalf("iteration event carries non-finite objective: %+v", ev.Progress)
 			}
+		}
+	}
+}
+
+// TestEventStreamReconnectFrom pins the ?from=N resume contract: a client
+// that consumed k events, dropped the connection, and reconnects at from=k
+// receives exactly the remainder — no dropped event, no duplicate. The
+// handler used to ignore the parameter and restart every stream at
+// sequence 0, which made reconnection replay the full history.
+func TestEventStreamReconnectFrom(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := quickSpec()
+	spec.MaxNewtonIters = 3
+	spec.GradTol = 1e-12
+	resp, id := postJob(t, ts.URL, spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	stream := func(query string) []Event {
+		t.Helper()
+		sresp, err := http.Get(ts.URL + "/jobs/" + id + "/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sresp.Body.Close()
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("GET events%s: %d", query, sresp.StatusCode)
+		}
+		var evs []Event
+		sc := bufio.NewScanner(sresp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			evs = append(evs, ev)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return evs
+	}
+
+	// First client: consume the whole stream (the job runs to completion).
+	full := stream("")
+	if len(full) < 4 {
+		t.Fatalf("stream too short to exercise reconnection: %d events", len(full))
+	}
+
+	// Reconnect mid-history: the tail must carry on at seq k exactly.
+	k := len(full) / 2
+	tail := stream(fmt.Sprintf("?from=%d", k))
+	if len(tail) != len(full)-k {
+		t.Fatalf("reconnect at from=%d returned %d events, want %d", k, len(tail), len(full)-k)
+	}
+	for i, ev := range tail {
+		want := full[k+i]
+		if ev.Seq != want.Seq || ev.Kind != want.Kind || ev.State != want.State {
+			t.Fatalf("reconnected event %d: seq=%d kind=%q state=%q, want seq=%d kind=%q state=%q",
+				i, ev.Seq, ev.Kind, ev.State, want.Seq, want.Kind, want.State)
+		}
+	}
+
+	// from=0 replays the full history; from past the end yields nothing
+	// (the job is terminal, so the stream closes immediately).
+	if replay := stream("?from=0"); len(replay) != len(full) {
+		t.Fatalf("from=0 replayed %d events, want %d", len(replay), len(full))
+	}
+	if over := stream(fmt.Sprintf("?from=%d", len(full)+5)); len(over) != 0 {
+		t.Fatalf("from past the end returned %d events, want 0", len(over))
+	}
+
+	// Malformed cursors are client errors, not silent restarts.
+	for _, bad := range []string{"?from=-1", "?from=x"} {
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/events" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET events%s: status %d, want 400", bad, resp.StatusCode)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -287,8 +288,8 @@ type sourceRecorder struct {
 	hit atomic.Bool
 }
 
-func (r *sourceRecorder) Acquire(n [3]int, tasks int) diffreg.PlanLease {
-	lease := r.pc.Acquire(n, tasks)
+func (r *sourceRecorder) Acquire(n [3]int, tasks int, precision string) diffreg.PlanLease {
+	lease := r.pc.Acquire(n, tasks, precision)
 	if pl, ok := lease.(*planLease); ok && pl.Hit() {
 		r.hit.Store(true)
 	}
@@ -444,11 +445,22 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, http.StatusNotFound, "unknown job")
 			return
 		}
+		// A reconnecting client passes ?from=N with N = the number of
+		// events it has already consumed; the stream resumes at event N
+		// exactly — no event is replayed, none is skipped.
+		next := 0
+		if from := r.URL.Query().Get("from"); from != "" {
+			v, err := strconv.Atoi(from)
+			if err != nil || v < 0 {
+				httpError(w, http.StatusBadRequest, "from must be a non-negative integer")
+				return
+			}
+			next = v
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		next := 0
 		for {
 			evs, notify, terminal := job.EventsSince(next)
 			for _, ev := range evs {

@@ -25,6 +25,7 @@ import (
 	"diffreg/internal/interp"
 	"diffreg/internal/par"
 	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
 )
 
 // must asserts an error-free pfft entry-point call. Every transform issued
@@ -113,6 +114,10 @@ func (o *Ops) Rebind(pe *grid.Pencil) error {
 	o.Pe = pe
 	return nil
 }
+
+// Precision returns the hot-path precision of the underlying transform
+// plan; the symbol tables themselves always stay float64.
+func (o *Ops) Precision() prec.Precision { return o.Plan.Precision() }
 
 // buildKernels constructs the retained table-driven pool kernels. Each
 // preserves the floating-point expression of the closure it replaces

@@ -88,11 +88,12 @@ type Context struct {
 // when v is (projected) divergence-free; the zero sources are then skipped.
 func (s *Solver) NewContext(v *field.Vector, solenoidal bool) *Context {
 	dt := s.Dt()
+	pr := s.Ops.Precision()
 	ctx := &Context{V: v, Solenoidal: solenoidal}
-	ctx.Fwd = semilag.NewPlan(s.Pe, semilag.Departure(s.Pe, v, dt))
+	ctx.Fwd = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrec(s.Pe, v, dt, pr), pr)
 	neg := v.Clone()
 	neg.Scale(-1)
-	ctx.Adj = semilag.NewPlan(s.Pe, semilag.Departure(s.Pe, neg, dt))
+	ctx.Adj = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrec(s.Pe, neg, dt, pr), pr)
 	vx := ctx.Fwd.InterpMany(v.C[0].Data, v.C[1].Data, v.C[2].Data)
 	ctx.VFwdX = [3][]float64{vx[0], vx[1], vx[2]}
 	if !solenoidal {
@@ -202,7 +203,7 @@ func (s *Solver) IncState(ctx *Context, gradRho [][3][]float64, vt *field.Vector
 	dt := s.Dt()
 	n := s.Pe.LocalTotal()
 	out := s.trajectory()
-	cur := out[0] // zero initial condition (the slab is zeroed)
+	cur := out[0]        // zero initial condition (the slab is zeroed)
 	f := s.stepScratch() // f(x, t_j) = -v~ . grad rho(t_j)
 	for j := 0; j < s.Nt; j++ {
 		for i := 0; i < n; i++ {
@@ -346,7 +347,7 @@ func (s *Solver) ApplyMap(img *field.Scalar, u *field.Vector) *field.Scalar {
 		pts[1][idx] = float64(pe.Lo[1]+i2) + u.C[1].Data[idx]/h[1]
 		pts[2][idx] = float64(pe.Lo[2]+i3) + u.C[2].Data[idx]/h[2]
 	})
-	plan := semilag.NewPlan(pe, pts)
+	plan := semilag.NewPlanPrec(pe, pts, s.Ops.Precision())
 	out := field.NewScalar(pe)
 	copy(out.Data, plan.Interp(img.Data))
 	return out
