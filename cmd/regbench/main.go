@@ -13,6 +13,7 @@
 //	regbench -perf                # spectral pipeline perf snapshot (JSON)
 //	regbench -serve               # registration-as-a-service throughput (JSON)
 //	regbench -mixed               # float64-vs-float32 hot path comparison (JSON)
+//	regbench -batch               # multi-job fusion throughput (JSON)
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"diffreg/internal/fusebench"
 	"diffreg/internal/mixbench"
 	"diffreg/internal/paperbench"
 	"diffreg/internal/servebench"
@@ -34,6 +36,7 @@ func main() {
 	perf := flag.Bool("perf", false, "print the spectral pipeline performance snapshot as JSON")
 	serveFlag := flag.Bool("serve", false, "print the registration-as-a-service throughput snapshot as JSON")
 	mixed := flag.Bool("mixed", false, "print the float64-vs-float32 hot path comparison as JSON")
+	batch := flag.Bool("batch", false, "print the multi-job fusion throughput snapshot as JSON")
 	flag.Parse()
 
 	if *out != "" {
@@ -59,6 +62,14 @@ func main() {
 	}
 	if *mixed {
 		rep, err := mixbench.PrecisionBench(*quick)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(rep.Text)
+		return
+	}
+	if *batch {
+		rep, err := fusebench.Batch(*quick)
 		if err != nil {
 			fail(err)
 		}

@@ -5,6 +5,11 @@
 //
 //	regserve -addr :8080 -workers 4 -queue 16 -cache 8 -timeout 10m
 //
+// With -max-batch N > 1 the server fuses queued same-shape jobs into one
+// solver pass (see README, "Multi-job fusion"); -batch-window tunes how
+// long a job waits for companions. -pprof ADDR serves net/http/pprof on a
+// separate listener.
+//
 // Submit a job and watch it:
 //
 //	curl -s localhost:8080/jobs -d '{"generator":"synthetic","n":[32,32,32],"tasks":4}'
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; exposed only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +43,9 @@ func main() {
 	cache := flag.Int("cache", 0, "plan-cache capacity in operator-set collections (0 = 2*workers, negative disables)")
 	timeout := flag.Duration("timeout", 0, "default per-job cooperative timeout (0 = none)")
 	pool := flag.Int("pool", 0, "shared-memory worker pool size (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("max-batch", 1, "fuse up to this many same-shape jobs into one solver pass (<= 1 disables fusion)")
+	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "how long a fusable job waits for same-shape companions")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	quiet := flag.Bool("q", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -52,9 +61,23 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
 		Logf:           logf,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofAddr != "" {
+		// Opt-in profiling on its own listener so the job API never
+		// exposes pprof. The blank net/http/pprof import registers its
+		// handlers on http.DefaultServeMux.
+		go func() {
+			log.Printf("regserve: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("regserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

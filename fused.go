@@ -1,0 +1,335 @@
+package diffreg
+
+import (
+	"fmt"
+
+	"diffreg/internal/core"
+	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/imaging"
+	"diffreg/internal/mpi"
+	"diffreg/internal/optim"
+	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
+	"diffreg/internal/regopt"
+	"diffreg/internal/spectral"
+)
+
+// FusedJob is one registration problem of a fused batch.
+type FusedJob struct {
+	Template  Volume
+	Reference Volume
+	// Config carries the job's solver knobs. The batch-shape fields —
+	// grid dimensions, Tasks, Precision — must agree across all jobs of
+	// the batch; beta, regularization, distance, tolerances, iteration
+	// budgets, stop hooks, and progress callbacks vary freely per job.
+	Config Config
+}
+
+// FusedInfo reports the scheduling shape of one fused solve.
+type FusedInfo struct {
+	// Jobs is the batch width that actually ran.
+	Jobs int
+	// EarlyDropouts counts jobs that finished while at least one
+	// neighbor was still iterating — the batch-shrink events of the
+	// fused solve.
+	EarlyDropouts int
+}
+
+// RegisterFused solves B independent registrations as one fused solver
+// pass: every rank runs B lock-stepped solver fibers, each on a
+// duplicated communicator, and a per-rank scheduler routes all B jobs'
+// spectral preconditioner applications through one 3·B-field transform
+// batch (still 2 all-to-alls per transpose stage, in both the float64
+// and float32 wire formats) and resolves their cooperative stop polls
+// with one masked vector allreduce. Each job's numerical trajectory is
+// exactly its solo Register trajectory — results are bit-identical —
+// and a converged, failed, or interrupted job drops out without
+// disturbing its neighbors. See DESIGN.md §11.
+//
+// All jobs must share grid dimensions, Tasks, and Precision, and must be
+// "plain" solves: no grid continuation, no parameter continuation
+// schedule, a stationary velocity, no checkpoint/resume, and no chaos
+// injection. The plan source of the first job (if any) supplies the
+// batch's operator-set lease; per-job Plans fields are otherwise
+// ignored.
+func RegisterFused(jobs []FusedJob) ([]*Result, *FusedInfo, error) {
+	nb := len(jobs)
+	if nb == 0 {
+		return nil, nil, fmt.Errorf("diffreg: empty fused batch")
+	}
+	cfgs := make([]Config, nb)
+	for j := range jobs {
+		cfgs[j] = jobs[j].Config.withDefaults()
+	}
+	n := jobs[0].Template.N
+	tasks := cfgs[0].Tasks
+	precision, err := prec.Parse(cfgs[0].Precision)
+	if err != nil {
+		return nil, nil, fmt.Errorf("diffreg: %w", err)
+	}
+	dists := make([]regopt.Distance, nb)
+	for j := range jobs {
+		cfg := &cfgs[j]
+		t, r := jobs[j].Template, jobs[j].Reference
+		if t.N != r.N {
+			return nil, nil, fmt.Errorf("diffreg: job %d: template %v and reference %v dimensions differ", j, t.N, r.N)
+		}
+		if t.N != n {
+			return nil, nil, fmt.Errorf("diffreg: job %d: dims %v differ from the batch's %v (fused jobs must share a grid)", j, t.N, n)
+		}
+		if len(t.Data) != t.N[0]*t.N[1]*t.N[2] || len(r.Data) != len(t.Data) {
+			return nil, nil, fmt.Errorf("diffreg: job %d: volume data length does not match dims %v", j, t.N)
+		}
+		if cfg.Tasks != tasks {
+			return nil, nil, fmt.Errorf("diffreg: job %d: Tasks %d differs from the batch's %d", j, cfg.Tasks, tasks)
+		}
+		pj, err := prec.Parse(cfg.Precision)
+		if err != nil {
+			return nil, nil, fmt.Errorf("diffreg: job %d: %w", j, err)
+		}
+		if pj != precision {
+			return nil, nil, fmt.Errorf("diffreg: job %d: precision %s differs from the batch's %s", j, pj, precision)
+		}
+		if cfg.MultilevelLevels > 1 {
+			return nil, nil, fmt.Errorf("diffreg: job %d: fused batches do not support grid continuation", j)
+		}
+		if len(cfg.ContinuationBetas) > 0 {
+			return nil, nil, fmt.Errorf("diffreg: job %d: fused batches do not support parameter continuation", j)
+		}
+		if cfg.VelocityIntervals > 1 {
+			return nil, nil, fmt.Errorf("diffreg: job %d: fused batches require a stationary velocity", j)
+		}
+		if cfg.CheckpointPath != "" || cfg.Resume {
+			return nil, nil, fmt.Errorf("diffreg: job %d: fused batches do not support checkpoint/restart", j)
+		}
+		if cfg.ChaosSpec != "" {
+			return nil, nil, fmt.Errorf("diffreg: job %d: fused batches do not support chaos injection", j)
+		}
+		switch cfg.Distance {
+		case "", "l2", "L2":
+			dists[j] = nil
+		case "ncc", "NCC":
+			if cfg.Mask != nil {
+				return nil, nil, fmt.Errorf("diffreg: job %d: Mask is incompatible with the NCC distance", j)
+			}
+			dists[j] = regopt.NCCDistance{}
+		default:
+			return nil, nil, fmt.Errorf("diffreg: job %d: unknown distance %q (l2 | ncc)", j, cfg.Distance)
+		}
+		if cfg.Mask != nil && cfg.Mask.N != t.N {
+			return nil, nil, fmt.Errorf("diffreg: job %d: mask dims %v differ from image dims %v", j, cfg.Mask.N, t.N)
+		}
+	}
+	g, err := grid.New(n[0], n[1], n[2])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// One lease covering every fiber's operator set plus the scheduler's
+	// fused executor (slot nb). Keyed by slot count so fused arenas —
+	// sized for 3·(B+1)-field batches — are never checked out by solos.
+	var blease BatchPlanLease
+	if cfgs[0].Plans != nil {
+		if lease := cfgs[0].Plans.Acquire(n, tasks, precision.String(), nb+1); lease != nil {
+			if bl, ok := lease.(BatchPlanLease); ok {
+				blease = bl
+				defer bl.Release()
+			} else {
+				lease.Release()
+			}
+		}
+	}
+
+	results := make([]*Result, nb)
+	info := &FusedInfo{Jobs: nb}
+	var solveErr error
+	_, err = mpi.RunWith(tasks, mpi.RunOpts{Cost: mpi.DefaultCostModel()}, func(c *mpi.Comm) error {
+		// Each job gets a duplicated communicator (uniform color, key =
+		// rank ⇒ identical group and rank order); message matching is
+		// per-communicator, so the B solves' traffic never mixes. The
+		// scheduler's fused collectives run on the base communicator c.
+		pes := make([]*grid.Pencil, nb)
+		for j := 0; j < nb; j++ {
+			pe, err := grid.NewPencil(g, c.Split(0, c.Rank()))
+			if err != nil {
+				return err
+			}
+			pes[j] = pe
+		}
+		peX, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		var exec *spectral.Ops
+		if blease != nil {
+			if ops := blease.OpsSlot(c.Rank(), nb); ops != nil {
+				if err := ops.Rebind(peX); err != nil {
+					solveErr = err
+					return err
+				}
+				exec = ops
+			}
+		}
+		if exec == nil {
+			exec = spectral.New(pfft.NewPlanPrec(peX, precision))
+		}
+
+		rhoTs := make([]*field.Scalar, nb)
+		rhoRs := make([]*field.Scalar, nb)
+		ccfgs := make([]core.Config, nb)
+		for j := 0; j < nb; j++ {
+			cfg := &cfgs[j]
+			rhoT := field.NewScalar(pes[j])
+			rhoR := field.NewScalar(pes[j])
+			var tData, rData []float64
+			if c.Rank() == 0 {
+				tData, rData = jobs[j].Template.Data, jobs[j].Reference.Data
+			}
+			rhoT.Scatter(tData)
+			rhoR.Scatter(rData)
+			if cfg.NormalizeIntensities {
+				imaging.Normalize(rhoT)
+				imaging.Normalize(rhoR)
+			}
+			dist := dists[j]
+			if cfg.Mask != nil {
+				w := field.NewScalar(pes[j])
+				var mData []float64
+				if c.Rank() == 0 {
+					mData = cfg.Mask.Data
+				}
+				w.Scatter(mData)
+				dist = regopt.WeightedL2Distance{W: w}
+			}
+			var v0 *field.Vector
+			if cfg.InitialVelocity != nil {
+				v0 = field.NewVector(pes[j])
+				for d := 0; d < 3; d++ {
+					var vd []float64
+					if c.Rank() == 0 {
+						vd = cfg.InitialVelocity[d].Data
+					}
+					v0.C[d].Scatter(vd)
+				}
+			}
+			ccfg := core.Config{
+				V0:        v0,
+				Precision: precision,
+				Intervals: 1,
+				Opt: regopt.Options{
+					Beta:           cfg.Beta,
+					Reg:            cfg.Reg,
+					Incompressible: cfg.Incompressible,
+					DivPenalty:     cfg.DivPenalty,
+					Distance:       dist,
+					ShiftedPrec:    cfg.ShiftedPrec,
+					TwoLevelPrec:   cfg.TwoLevelPrec,
+					Nt:             cfg.TimeSteps,
+					GaussNewton:    !cfg.FullNewton,
+				},
+				Newton:     optim.DefaultNewtonOptions(),
+				FirstOrder: cfg.FirstOrder,
+				Smooth:     cfg.Smooth,
+				Checkpoint: core.CheckpointConfig{Stop: cfg.StopRequested},
+			}
+			ccfg.Newton.GradTol = cfg.GradTol
+			ccfg.Newton.MaxIters = cfg.MaxNewtonIters
+			if cfg.MaxKrylovIters > 0 {
+				ccfg.Newton.MaxKrylov = cfg.MaxKrylovIters
+			}
+			if cfg.Verbose && cfg.Logf != nil && c.Rank() == 0 {
+				ccfg.Newton.Log = cfg.Logf
+			}
+			if cfg.OnProgress != nil && c.Rank() == 0 {
+				ccfg.OnProgress = cfg.OnProgress
+			}
+			if blease != nil {
+				if ops := blease.OpsSlot(c.Rank(), j); ops != nil {
+					if err := ops.Rebind(pes[j]); err != nil {
+						solveErr = err
+						return err
+					}
+					ccfg.Ops = ops
+				}
+			}
+			rhoTs[j], rhoRs[j], ccfgs[j] = rhoT, rhoR, ccfg
+		}
+
+		outs, binfo, err := core.RegisterBatch(c, exec, pes, rhoTs, rhoRs, ccfgs)
+		if err != nil {
+			solveErr = err
+			return err
+		}
+		if blease != nil {
+			for j := 0; j < nb; j++ {
+				if outs[j].Ops != nil {
+					blease.PutSlot(c.Rank(), j, outs[j].Ops)
+				}
+			}
+			blease.PutSlot(c.Rank(), nb, exec)
+		}
+
+		// Per-job gathers run sequentially on the (again single-threaded)
+		// rank goroutine; each on its job's communicator.
+		for j := 0; j < nb; j++ {
+			out := outs[j]
+			var warped, det []float64
+			var vel, disp [3][]float64
+			if out.Warped != nil {
+				warped = out.Warped.Gather()
+			}
+			if out.Det != nil {
+				det = out.Det.Gather()
+			}
+			for d := 0; d < 3; d++ {
+				vel[d] = out.V.C[d].Gather()
+				if out.U != nil {
+					disp[d] = out.U.C[d].Gather()
+				}
+			}
+			if c.Rank() == 0 {
+				res := &Result{}
+				res.Converged = out.Result.Converged
+				res.Interrupted = out.Result.Interrupted
+				res.Failed = out.Result.Failed
+				res.FailReason = out.Result.FailReason
+				res.Degradations = out.Result.Degradations
+				res.NewtonIters = out.Counts.NewtonIters
+				res.HessianMatvecs = out.Counts.Matvecs
+				res.MisfitInit = out.MisfitInit
+				res.MisfitFinal = out.MisfitFinal
+				res.GnormInit = out.Result.GnormInit
+				res.GnormFinal = out.Result.GnormLast
+				res.DetMin, res.DetMax, res.DetMean = out.DetMin, out.DetMax, out.DetMean
+				res.Warped = Volume{N: g.N, Data: warped}
+				res.DetGrad = Volume{N: g.N, Data: det}
+				for d := 0; d < 3; d++ {
+					res.Velocity[d] = Volume{N: g.N, Data: vel[d]}
+					res.Displacement[d] = Volume{N: g.N, Data: disp[d]}
+				}
+				res.Phases = out.Phases
+				res.FFTs = out.Counts.FFTs
+				res.InterpSweeps = out.Counts.InterpSweeps
+				for _, h := range out.Result.History {
+					res.History = append(res.History, IterationRecord{
+						Iter: h.Iter, Objective: h.J, Misfit: h.Misfit,
+						Gnorm: h.Gnorm, CGIters: h.CGIters, Step: h.Step,
+					})
+				}
+				results[j] = res
+			}
+		}
+		if c.Rank() == 0 {
+			info.EarlyDropouts = binfo.Dropouts
+		}
+		return nil
+	})
+	if solveErr != nil {
+		return nil, nil, solveErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, info, nil
+}

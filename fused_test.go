@@ -1,0 +1,200 @@
+package diffreg
+
+import (
+	"math"
+	"testing"
+)
+
+// fusedBatchSpec builds a 4-job batch over one synthetic pair with
+// per-job solver knobs varied (beta, first-order vs Gauss-Newton,
+// budgets) so the lock-step scheduler sees heterogeneous trajectories.
+func fusedBatchSpec(t *testing.T, tasks int, precision string) ([]FusedJob, []Config) {
+	t.Helper()
+	tmpl, ref, err := SyntheticProblem(16, 16, 16, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Tasks: tasks, Precision: precision, TimeSteps: 2,
+		GradTol: 1e-12, MaxKrylovIters: 5,
+	}
+	cfgs := make([]Config, 4)
+	for j := range cfgs {
+		cfgs[j] = base
+	}
+	cfgs[0].Beta = 1e-2
+	cfgs[0].MaxNewtonIters = 2
+	cfgs[1].Beta = 5e-2
+	cfgs[1].MaxNewtonIters = 2
+	cfgs[2].Beta = 1e-2
+	cfgs[2].MaxNewtonIters = 1
+	cfgs[3].Beta = 1e-2
+	cfgs[3].MaxNewtonIters = 2
+	cfgs[3].FirstOrder = true
+	jobs := make([]FusedJob, 4)
+	for j := range jobs {
+		jobs[j] = FusedJob{Template: tmpl, Reference: ref, Config: cfgs[j]}
+	}
+	return jobs, cfgs
+}
+
+func bitsEqual(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("%s: fused %v != solo %v", label, got, want)
+	}
+}
+
+func volumeBitsEqual(t *testing.T, label string, got, want Volume) {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Errorf("%s: fused len %d != solo len %d", label, len(got.Data), len(want.Data))
+		return
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Errorf("%s: first mismatch at %d: fused %v != solo %v", label, i, got.Data[i], want.Data[i])
+			return
+		}
+	}
+}
+
+// TestRegisterFusedBitIdenticalToSolo is the fused-batch correctness
+// gate: every job of a fused batch must be Float64bits-identical — in
+// misfit, gradient norm, iterate, warped image, and deformation-map
+// summaries — to the same job run solo, at 1 and 4 ranks and in both
+// precisions.
+func TestRegisterFusedBitIdenticalToSolo(t *testing.T) {
+	for _, precision := range []string{"float64", "float32"} {
+		for _, tasks := range []int{1, 4} {
+			if testing.Short() && (tasks == 4 && precision == "float32") {
+				continue
+			}
+			jobs, cfgs := fusedBatchSpec(t, tasks, precision)
+			solo := make([]*Result, len(jobs))
+			for j := range jobs {
+				res, err := Register(jobs[j].Template, jobs[j].Reference, cfgs[j])
+				if err != nil {
+					t.Fatalf("prec=%s p=%d solo job %d: %v", precision, tasks, j, err)
+				}
+				solo[j] = res
+			}
+			fusedRes, info, err := RegisterFused(jobs)
+			if err != nil {
+				t.Fatalf("prec=%s p=%d fused: %v", precision, tasks, err)
+			}
+			if info.Jobs != len(jobs) {
+				t.Errorf("prec=%s p=%d: info.Jobs = %d, want %d", precision, tasks, info.Jobs, len(jobs))
+			}
+			for j := range jobs {
+				got, want := fusedRes[j], solo[j]
+				label := func(f string) string {
+					return "prec=" + precision + " job " + string(rune('0'+j)) + " " + f
+				}
+				if got.NewtonIters != want.NewtonIters {
+					t.Errorf("%s: fused iters %d != solo %d", label("iters"), got.NewtonIters, want.NewtonIters)
+				}
+				bitsEqual(t, label("misfit_init"), got.MisfitInit, want.MisfitInit)
+				bitsEqual(t, label("misfit_final"), got.MisfitFinal, want.MisfitFinal)
+				bitsEqual(t, label("gnorm_final"), got.GnormFinal, want.GnormFinal)
+				bitsEqual(t, label("det_min"), got.DetMin, want.DetMin)
+				bitsEqual(t, label("det_mean"), got.DetMean, want.DetMean)
+				volumeBitsEqual(t, label("warped"), got.Warped, want.Warped)
+				for d := 0; d < 3; d++ {
+					volumeBitsEqual(t, label("velocity"), got.Velocity[d], want.Velocity[d])
+				}
+			}
+		}
+	}
+}
+
+// TestRegisterFusedHeterogeneousKnobsRejected pins the batch-shape
+// validation: mixed grids, task counts, precisions, and unsupported
+// solve flavors are rejected up front with a job-indexed error.
+func TestRegisterFusedValidation(t *testing.T) {
+	tmpl, ref, err := SyntheticProblem(16, 16, 16, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := Config{Tasks: 1, TimeSteps: 2, MaxNewtonIters: 1, MaxKrylovIters: 3}
+	mk := func(mut func(c *Config)) []FusedJob {
+		a, b := ok, ok
+		mut(&b)
+		return []FusedJob{
+			{Template: tmpl, Reference: ref, Config: a},
+			{Template: tmpl, Reference: ref, Config: b},
+		}
+	}
+	cases := []struct {
+		name string
+		jobs []FusedJob
+	}{
+		{"empty", nil},
+		{"mixed tasks", mk(func(c *Config) { c.Tasks = 2 })},
+		{"mixed precision", mk(func(c *Config) { c.Precision = "float32" })},
+		{"multilevel", mk(func(c *Config) { c.MultilevelLevels = 2 })},
+		{"continuation", mk(func(c *Config) { c.ContinuationBetas = []float64{1e-1, 1e-2} })},
+		{"time-varying", mk(func(c *Config) { c.VelocityIntervals = 2; c.TimeSteps = 4 })},
+		{"checkpoint", mk(func(c *Config) { c.CheckpointPath = "/tmp/nope.ckpt" })},
+		{"chaos", mk(func(c *Config) { c.ChaosSpec = "seed=7;site=0:fft-comm:send:1:bitflip" })},
+	}
+	for _, tc := range cases {
+		if _, _, err := RegisterFused(tc.jobs); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+// TestRegisterFusedWidthOne: a degenerate single-job batch runs and
+// matches solo bitwise (the serve dispatcher can shrink a group to one).
+func TestRegisterFusedWidthOne(t *testing.T) {
+	tmpl, ref, err := SyntheticProblem(16, 16, 16, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Tasks: 2, TimeSteps: 2, MaxNewtonIters: 1, MaxKrylovIters: 3, GradTol: 1e-12}
+	solo, err := Register(tmpl, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, info, err := RegisterFused([]FusedJob{{Template: tmpl, Reference: ref, Config: cfg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.EarlyDropouts != 0 {
+		t.Errorf("width-1 batch reported %d dropouts", info.EarlyDropouts)
+	}
+	bitsEqual(t, "misfit_final", fused[0].MisfitFinal, solo.MisfitFinal)
+	volumeBitsEqual(t, "warped", fused[0].Warped, solo.Warped)
+}
+
+// TestRegisterFusedPerJobStop: one job's StopRequested interrupts only
+// that job; its neighbor completes normally.
+func TestRegisterFusedPerJobStop(t *testing.T) {
+	tmpl, ref, err := SyntheticProblem(16, 16, 16, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Tasks: 1, TimeSteps: 2, MaxNewtonIters: 3, MaxKrylovIters: 3, GradTol: 1e-12}
+	stopped := cfg
+	stopped.StopRequested = func() bool { return true }
+	res, info, err := RegisterFused([]FusedJob{
+		{Template: tmpl, Reference: ref, Config: stopped},
+		{Template: tmpl, Reference: ref, Config: cfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Interrupted {
+		t.Error("job 0 with StopRequested=true was not interrupted")
+	}
+	if res[1].Interrupted {
+		t.Error("job 1 without a stop hook was interrupted")
+	}
+	if res[1].NewtonIters != 3 {
+		t.Errorf("job 1 ran %d iters, want its full budget of 3", res[1].NewtonIters)
+	}
+	if info.EarlyDropouts == 0 {
+		t.Error("interrupting one of two jobs should register a dropout")
+	}
+}

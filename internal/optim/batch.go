@@ -1,0 +1,374 @@
+package optim
+
+import (
+	"errors"
+	"sort"
+)
+
+// This file implements lock-stepped multi-job batching: B independent
+// Newton–Krylov solves ("fibers") run as goroutines on one rank, and a
+// deterministic rendezvous scheduler interleaves their objective
+// callbacks so that (a) at most one fiber is executing solver code at
+// any instant — the MPI layer's per-rank counters are unlocked and every
+// split communicator shares them, so true concurrency would race — and
+// (b) callbacks that admit cross-job fusion (the spectral preconditioner
+// and the cooperative stop poll) are executed by the scheduler itself in
+// one fused pass over all parked jobs.
+//
+// Protocol. Every gated callback parks its fiber: the request is posted
+// to the scheduler and the fiber blocks. When every active fiber is
+// parked the scheduler takes a round snapshot, sorted by job index,
+// fuses what it can (stop flags via one masked vector allreduce, fusable
+// preconditioner applications via one batched diagonal pass), and then
+// releases the round's members one at a time, waiting for each fiber to
+// re-park or finish before releasing the next. A released fiber executes
+// its (non-fused) callback and all inter-callback vector work inside
+// that exclusive window. Because each job's callback sequence is
+// SPMD-uniform across ranks and rounds are processed in job order, the
+// round composition — and therefore the fused collective schedule — is
+// identical on every rank, so the scheduler's fused operations are
+// themselves valid collectives.
+//
+// A converged or failed job simply finishes its fiber: the active set
+// shrinks and subsequent rounds are formed over the survivors, without
+// disturbing their callback sequences.
+
+// BatchCallKind identifies one kind of gated objective callback.
+type BatchCallKind int
+
+const (
+	CallEvaluate BatchCallKind = iota
+	CallEvalGradient
+	CallHessMatVec
+	CallApplyPrec
+	CallProject
+	CallStop
+	// CallExclusive is a gated critical section: arbitrary fiber code
+	// (e.g. the post-solve map reconstruction, which runs collectives on
+	// the job's own communicator) executed inside an exclusive window.
+	CallExclusive
+)
+
+// ErrBatchAborted is recorded for fibers that were unwound because the
+// scheduler itself failed (e.g. a fused collective raised a
+// communication error); the aborted fibers are casualties, not
+// independent failures.
+var ErrBatchAborted = errors.New("optim: batch aborted")
+
+// errAbortPanic is the panic value used to unwind fibers parked on a
+// dead scheduler.
+type errAbortPanic struct{}
+
+// FusedOps are the cross-job executors the scheduler may use on a round.
+// Both are optional; a nil hook means the corresponding callback is
+// executed solo by its fiber. Hooks run on the scheduler goroutine while
+// every fiber is parked, so they may perform collectives on the rank's
+// base communicator.
+type FusedOps[T Vec[T]] struct {
+	// ApplyPrec applies each job's preconditioner in one fused pass.
+	// jobs[i] is the job index of rs[i]; the returned slice is parallel
+	// to rs and every element must be a fresh vector. Only jobs gated
+	// with precFusable=true are routed here.
+	ApplyPrec func(jobs []int, rs []T) []T
+	// Stop resolves the batch's cooperative-stop poll in one masked
+	// vector reduction: flags has one slot per job in the batch (the
+	// local stop flag of jobs parked at a Stop call this round, zero
+	// elsewhere) and the result must carry the globally-reduced flags.
+	Stop func(flags []float64) []float64
+}
+
+type batchReq[T Vec[T]] struct {
+	job  int
+	kind BatchCallKind
+
+	// arg is the operand of a fusable ApplyPrec call.
+	arg T
+	// exec runs the solo path on the fiber after release.
+	exec func()
+	// fused marks requests the scheduler satisfied itself; out/stopRes
+	// carry the result.
+	fused   bool
+	out     T
+	flag    float64
+	stopRes bool
+
+	release chan struct{}
+}
+
+type fiberEvent[T Vec[T]] struct {
+	job      int
+	req      *batchReq[T] // non-nil: fiber parked on this request
+	done     bool         // fiber finished
+	panicVal any          // recovered fiber panic, re-raised by Run
+}
+
+// Batch coordinates n lock-stepped solver fibers on one rank.
+type Batch[T Vec[T]] struct {
+	n       int
+	fused   FusedOps[T]
+	fusable []bool
+	events  chan fiberEvent[T]
+	abort   chan struct{}
+
+	dropouts int
+	rounds   int
+}
+
+// NewBatch builds a scheduler for n jobs with the given fused executors.
+func NewBatch[T Vec[T]](n int, fused FusedOps[T]) *Batch[T] {
+	return &Batch[T]{
+		n:       n,
+		fused:   fused,
+		fusable: make([]bool, n),
+		// Buffered so a fiber's final done event can never block even if
+		// the scheduler has already panicked out of its loop.
+		events: make(chan fiberEvent[T], 2*n+1),
+		abort:  make(chan struct{}),
+	}
+}
+
+// Gate wraps a job's objective so every callback is scheduled through
+// the batch. precFusable routes this job's ApplyPrec through the fused
+// executor (set it only when the preconditioner is the pure spectral
+// diagonal — a two-level preconditioner must run solo).
+func (b *Batch[T]) Gate(job int, inner Objective[T], precFusable bool) Objective[T] {
+	b.fusable[job] = precFusable
+	return &gated[T]{b: b, job: job, inner: inner}
+}
+
+// GateStop wraps a job's local stop predicate into a batch-wide gated
+// poll. With a fused Stop hook the flags of all jobs polling this round
+// are reduced in one masked vector collective; without one the local
+// flag is the verdict.
+func (b *Batch[T]) GateStop(job int, local func() bool) func() bool {
+	return func() bool {
+		req := &batchReq[T]{job: job, kind: CallStop}
+		if local != nil && local() {
+			req.flag = 1
+		}
+		b.park(req)
+		if req.fused {
+			return req.stopRes
+		}
+		return req.flag > 0
+	}
+}
+
+// Exclusive runs fn on job's fiber inside an exclusive window: no other
+// fiber (and not the scheduler) touches the rank's communicators while
+// fn executes. Use it for gated epilogues such as map reconstruction.
+func (b *Batch[T]) Exclusive(job int, fn func()) {
+	req := &batchReq[T]{job: job, kind: CallExclusive, exec: fn}
+	b.park(req)
+	req.exec()
+}
+
+// Dropouts reports how many jobs finished while at least one other job
+// was still active — the batch-shrink events of this run.
+func (b *Batch[T]) Dropouts() int { return b.dropouts }
+
+// Rounds reports how many rendezvous rounds the scheduler executed.
+func (b *Batch[T]) Rounds() int { return b.rounds }
+
+// park posts req and blocks the calling fiber until the scheduler
+// releases it (or unwinds it if the scheduler died).
+func (b *Batch[T]) park(req *batchReq[T]) {
+	req.release = make(chan struct{})
+	b.events <- fiberEvent[T]{job: req.job, req: req}
+	select {
+	case <-req.release:
+	case <-b.abort:
+		panic(errAbortPanic{})
+	}
+}
+
+// Run launches one goroutine per fiber and drives the rendezvous
+// scheduler until every fiber has finished. It returns the per-job
+// errors reported by the fiber bodies (ErrBatchAborted for fibers
+// unwound by a scheduler failure). If a fiber panicked — e.g. the MPI
+// layer aborted the world mid-collective — the first captured panic (by
+// job index) is re-raised on the calling goroutine after all fibers have
+// drained, so rank-failure propagation behaves as in the solo path.
+//
+// The fiber prologue (everything before its first gated call) runs
+// concurrently across fibers and therefore must be communication-free;
+// in practice the first solver operation is a gated Project.
+func (b *Batch[T]) Run(fibers []func() error) []error {
+	if len(fibers) != b.n {
+		panic("optim: fiber count does not match batch width")
+	}
+	errs := make([]error, b.n)
+	panics := make([]any, b.n)
+	for j := range fibers {
+		j := j
+		fn := fibers[j]
+		go func() {
+			defer func() {
+				ev := fiberEvent[T]{job: j, done: true}
+				if pv := recover(); pv != nil {
+					if _, aborted := pv.(errAbortPanic); aborted {
+						errs[j] = ErrBatchAborted
+					} else {
+						ev.panicVal = pv
+					}
+				}
+				b.events <- ev
+			}()
+			errs[j] = fn()
+		}()
+	}
+
+	// If we panic out of the loop below (a fused collective failed),
+	// wake every parked fiber so their goroutines drain instead of
+	// leaking; the buffered events channel absorbs their done events.
+	defer close(b.abort)
+
+	active, running := b.n, b.n
+	parked := make(map[int]*batchReq[T], b.n)
+	handle := func(ev fiberEvent[T]) {
+		running--
+		if ev.done {
+			active--
+			if ev.panicVal != nil {
+				panics[ev.job] = ev.panicVal
+			}
+			if active > 0 {
+				b.dropouts++
+			}
+			return
+		}
+		parked[ev.job] = ev.req
+	}
+
+	for active > 0 {
+		for running > 0 {
+			handle(<-b.events)
+		}
+		if active == 0 {
+			break
+		}
+		b.rounds++
+		round := make([]*batchReq[T], 0, len(parked))
+		for _, r := range parked {
+			round = append(round, r)
+		}
+		sort.Slice(round, func(i, k int) bool { return round[i].job < round[k].job })
+
+		// Fused stop: one masked vector reduction for every job polling
+		// this round.
+		if b.fused.Stop != nil {
+			var stops []*batchReq[T]
+			for _, r := range round {
+				if r.kind == CallStop {
+					stops = append(stops, r)
+				}
+			}
+			if len(stops) > 0 {
+				flags := make([]float64, b.n)
+				for _, r := range stops {
+					flags[r.job] = r.flag
+				}
+				out := b.fused.Stop(flags)
+				for _, r := range stops {
+					r.fused = true
+					r.stopRes = out[r.job] > 0
+				}
+			}
+		}
+
+		// Fused preconditioner: one batched diagonal pass over every
+		// fusable ApplyPrec parked this round.
+		if b.fused.ApplyPrec != nil {
+			var precs []*batchReq[T]
+			for _, r := range round {
+				if r.kind == CallApplyPrec && b.fusable[r.job] {
+					precs = append(precs, r)
+				}
+			}
+			if len(precs) > 0 {
+				jobs := make([]int, len(precs))
+				rs := make([]T, len(precs))
+				for i, r := range precs {
+					jobs[i] = r.job
+					rs[i] = r.arg
+				}
+				outs := b.fused.ApplyPrec(jobs, rs)
+				for i, r := range precs {
+					r.fused = true
+					r.out = outs[i]
+				}
+			}
+		}
+
+		// Release one at a time: the released fiber owns the rank's
+		// communicators until it re-parks or finishes.
+		for _, r := range round {
+			delete(parked, r.job)
+			running++
+			close(r.release)
+			handle(<-b.events)
+		}
+	}
+
+	for _, pv := range panics {
+		if pv != nil {
+			panic(pv)
+		}
+	}
+	return errs
+}
+
+// gated adapts one job's Objective so every callback parks its fiber.
+type gated[T Vec[T]] struct {
+	b     *Batch[T]
+	job   int
+	inner Objective[T]
+}
+
+func (g *gated[T]) Evaluate(v T) ObjVals {
+	var out ObjVals
+	req := &batchReq[T]{job: g.job, kind: CallEvaluate}
+	req.exec = func() { out = g.inner.Evaluate(v) }
+	g.b.park(req)
+	req.exec()
+	return out
+}
+
+func (g *gated[T]) EvalGradient(v T) GradVals[T] {
+	var out GradVals[T]
+	req := &batchReq[T]{job: g.job, kind: CallEvalGradient}
+	req.exec = func() { out = g.inner.EvalGradient(v) }
+	g.b.park(req)
+	req.exec()
+	return out
+}
+
+func (g *gated[T]) HessMatVec(w T) T {
+	var out T
+	req := &batchReq[T]{job: g.job, kind: CallHessMatVec}
+	req.exec = func() { out = g.inner.HessMatVec(w) }
+	g.b.park(req)
+	req.exec()
+	return out
+}
+
+func (g *gated[T]) ApplyPrec(r T) T {
+	var out T
+	req := &batchReq[T]{job: g.job, kind: CallApplyPrec, arg: r}
+	req.exec = func() { out = g.inner.ApplyPrec(r) }
+	g.b.park(req)
+	if req.fused {
+		return req.out
+	}
+	req.exec()
+	return out
+}
+
+func (g *gated[T]) Project(v T) T {
+	var out T
+	req := &batchReq[T]{job: g.job, kind: CallProject}
+	req.exec = func() { out = g.inner.Project(v) }
+	g.b.park(req)
+	req.exec()
+	return out
+}

@@ -1,0 +1,274 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func newHostileTrio() []*hostile {
+	return []*hostile{
+		{a: dvec{2, 1, 0.5}, b: dvec{1, 1, 1}, beta: 0.1},
+		{a: dvec{4, 3, 2}, b: dvec{2, -1, 0.5}, beta: 0.05},
+		{a: dvec{1, 1, 1}, b: dvec{-1, 2, -3}, beta: 0.2},
+	}
+}
+
+func soloResult(p *hostile, opt NewtonOptions) *Result[dvec] {
+	return GaussNewton[dvec](p, make(dvec, len(p.b)), opt)
+}
+
+// TestBatchMatchesSolo: three quadratics solved through the rendezvous
+// scheduler with fused prec + stop hooks must produce bitwise the same
+// iterates, objective values, and iteration counts as three solo solves.
+func TestBatchMatchesSolo(t *testing.T) {
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 20
+
+	solo := make([]*Result[dvec], 3)
+	for i, p := range newHostileTrio() {
+		solo[i] = soloResult(p, opt)
+		if !solo[i].Converged {
+			t.Fatalf("solo job %d did not converge", i)
+		}
+	}
+
+	probs := newHostileTrio()
+	fused := FusedOps[dvec]{
+		// Identity preconditioner applied batch-wide: same arithmetic as
+		// hostile.ApplyPrec, exercised through the fused path.
+		ApplyPrec: func(jobs []int, rs []dvec) []dvec {
+			outs := make([]dvec, len(rs))
+			for i := range rs {
+				outs[i] = rs[i].Clone()
+			}
+			return outs
+		},
+		// Single-rank masked reduction: the identity.
+		Stop: func(flags []float64) []float64 { return flags },
+	}
+	b := NewBatch[dvec](3, fused)
+	results := make([]*Result[dvec], 3)
+	fibers := make([]func() error, 3)
+	for j := 0; j < 3; j++ {
+		j := j
+		o := opt
+		o.Stop = b.GateStop(j, func() bool { return false })
+		obj := b.Gate(j, probs[j], true)
+		fibers[j] = func() error {
+			results[j] = GaussNewton[dvec](obj, make(dvec, len(probs[j].b)), o)
+			return nil
+		}
+	}
+	for _, err := range b.Run(fibers) {
+		if err != nil {
+			t.Fatalf("fiber error: %v", err)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		if results[j] == nil || !results[j].Converged {
+			t.Fatalf("batched job %d did not converge", j)
+		}
+		if results[j].Iters != solo[j].Iters {
+			t.Errorf("job %d: iters %d != solo %d", j, results[j].Iters, solo[j].Iters)
+		}
+		if math.Float64bits(results[j].JFinal) != math.Float64bits(solo[j].JFinal) {
+			t.Errorf("job %d: JFinal %v != solo %v", j, results[j].JFinal, solo[j].JFinal)
+		}
+		for i := range results[j].V {
+			if math.Float64bits(results[j].V[i]) != math.Float64bits(solo[j].V[i]) {
+				t.Errorf("job %d component %d: %v != solo %v", j, i, results[j].V[i], solo[j].V[i])
+			}
+		}
+	}
+}
+
+// TestBatchUnfusablePrecRunsSolo: a job gated with precFusable=false
+// must never reach the fused ApplyPrec hook, yet still converge to the
+// same answer.
+func TestBatchUnfusablePrecRunsSolo(t *testing.T) {
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 20
+	probs := newHostileTrio()
+	solo := soloResult(newHostileTrio()[1], opt)
+
+	var fusedJobs []int
+	fused := FusedOps[dvec]{
+		ApplyPrec: func(jobs []int, rs []dvec) []dvec {
+			fusedJobs = append(fusedJobs, jobs...)
+			outs := make([]dvec, len(rs))
+			for i := range rs {
+				outs[i] = rs[i].Clone()
+			}
+			return outs
+		},
+	}
+	b := NewBatch[dvec](3, fused)
+	results := make([]*Result[dvec], 3)
+	fibers := make([]func() error, 3)
+	for j := 0; j < 3; j++ {
+		j := j
+		obj := b.Gate(j, probs[j], j != 1) // job 1 is unfusable
+		fibers[j] = func() error {
+			results[j] = GaussNewton[dvec](obj, make(dvec, len(probs[j].b)), opt)
+			return nil
+		}
+	}
+	b.Run(fibers)
+	for _, j := range fusedJobs {
+		if j == 1 {
+			t.Fatal("unfusable job 1 was routed through the fused preconditioner")
+		}
+	}
+	if len(fusedJobs) == 0 {
+		t.Fatal("no job used the fused preconditioner")
+	}
+	if math.Float64bits(results[1].JFinal) != math.Float64bits(solo.JFinal) {
+		t.Errorf("unfusable job JFinal %v != solo %v", results[1].JFinal, solo.JFinal)
+	}
+}
+
+// TestBatchDropout: jobs with different iteration budgets finish at
+// different times; the early finishers must not disturb the survivor,
+// and the scheduler must count the shrink events.
+func TestBatchDropout(t *testing.T) {
+	probs := newHostileTrio()
+	solo := make([]*Result[dvec], 3)
+	budgets := []int{1, 2, 20}
+	for i, p := range newHostileTrio() {
+		o := DefaultNewtonOptions()
+		o.MaxIters = budgets[i]
+		solo[i] = soloResult(p, o)
+	}
+
+	b := NewBatch[dvec](3, FusedOps[dvec]{})
+	results := make([]*Result[dvec], 3)
+	fibers := make([]func() error, 3)
+	for j := 0; j < 3; j++ {
+		j := j
+		o := DefaultNewtonOptions()
+		o.MaxIters = budgets[j]
+		obj := b.Gate(j, probs[j], false)
+		fibers[j] = func() error {
+			results[j] = GaussNewton[dvec](obj, make(dvec, len(probs[j].b)), o)
+			return nil
+		}
+	}
+	b.Run(fibers)
+	if b.Dropouts() != 2 {
+		t.Errorf("want 2 dropout events, got %d", b.Dropouts())
+	}
+	for j := 0; j < 3; j++ {
+		if results[j].Iters != solo[j].Iters {
+			t.Errorf("job %d: iters %d != solo %d", j, results[j].Iters, solo[j].Iters)
+		}
+		if math.Float64bits(results[j].JFinal) != math.Float64bits(solo[j].JFinal) {
+			t.Errorf("job %d: JFinal %v != solo %v", j, results[j].JFinal, solo[j].JFinal)
+		}
+	}
+}
+
+// TestBatchStopInterruptsOneJob: a per-job stop flag raised mid-solve
+// interrupts only that job; its neighbors run to convergence
+// bit-identically to solo.
+func TestBatchStopInterruptsOneJob(t *testing.T) {
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 20
+	probs := newHostileTrio()
+	solo0 := soloResult(newHostileTrio()[0], opt)
+	solo2 := soloResult(newHostileTrio()[2], opt)
+
+	b := NewBatch[dvec](3, FusedOps[dvec]{
+		Stop: func(flags []float64) []float64 { return flags },
+	})
+	results := make([]*Result[dvec], 3)
+	fibers := make([]func() error, 3)
+	polls := 0
+	for j := 0; j < 3; j++ {
+		j := j
+		o := opt
+		if j == 1 {
+			o.Stop = b.GateStop(j, func() bool {
+				polls++
+				return polls > 1 // interrupt on the second poll
+			})
+		} else {
+			o.Stop = b.GateStop(j, func() bool { return false })
+		}
+		obj := b.Gate(j, probs[j], false)
+		fibers[j] = func() error {
+			results[j] = GaussNewton[dvec](obj, make(dvec, len(probs[j].b)), o)
+			return nil
+		}
+	}
+	b.Run(fibers)
+	if !results[1].Interrupted {
+		t.Error("job 1 was not interrupted")
+	}
+	if results[0].Interrupted || results[2].Interrupted {
+		t.Error("a neighbor of the stopped job was interrupted")
+	}
+	if math.Float64bits(results[0].JFinal) != math.Float64bits(solo0.JFinal) {
+		t.Errorf("job 0 JFinal %v != solo %v", results[0].JFinal, solo0.JFinal)
+	}
+	if math.Float64bits(results[2].JFinal) != math.Float64bits(solo2.JFinal) {
+		t.Errorf("job 2 JFinal %v != solo %v", results[2].JFinal, solo2.JFinal)
+	}
+}
+
+// TestBatchExclusiveSerialized: Exclusive sections never overlap with
+// any other fiber's callbacks.
+func TestBatchExclusiveSerialized(t *testing.T) {
+	const n = 4
+	b := NewBatch[dvec](n, FusedOps[dvec]{})
+	var inWindow, maxInWindow int
+	fibers := make([]func() error, n)
+	for j := 0; j < n; j++ {
+		j := j
+		fibers[j] = func() error {
+			for k := 0; k < 3; k++ {
+				b.Exclusive(j, func() {
+					inWindow++
+					if inWindow > maxInWindow {
+						maxInWindow = inWindow
+					}
+					inWindow--
+				})
+			}
+			return nil
+		}
+	}
+	b.Run(fibers)
+	if maxInWindow != 1 {
+		t.Errorf("exclusive windows overlapped: max concurrency %d", maxInWindow)
+	}
+}
+
+// TestBatchFiberPanicRepropagates: a panicking fiber must not crash the
+// process from its own goroutine; Run re-raises the panic on the caller
+// after the surviving fibers drain.
+func TestBatchFiberPanicRepropagates(t *testing.T) {
+	probs := newHostileTrio()
+	b := NewBatch[dvec](2, FusedOps[dvec]{})
+	opt := DefaultNewtonOptions()
+	opt.MaxIters = 5
+	var survived *Result[dvec]
+	fibers := []func() error{
+		func() error { panic("fiber 0 exploded") },
+		func() error {
+			obj := b.Gate(1, probs[1], false)
+			survived = GaussNewton[dvec](obj, make(dvec, len(probs[1].b)), opt)
+			return nil
+		},
+	}
+	defer func() {
+		pv := recover()
+		if pv != "fiber 0 exploded" {
+			t.Fatalf("want re-raised fiber panic, got %v", pv)
+		}
+		if survived == nil {
+			t.Error("surviving fiber did not complete before the re-raise")
+		}
+	}()
+	b.Run(fibers)
+	t.Fatal("Run returned instead of re-raising the fiber panic")
+}

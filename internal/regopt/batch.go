@@ -1,0 +1,61 @@
+package regopt
+
+import (
+	"diffreg/internal/field"
+	"diffreg/internal/spectral"
+)
+
+// Job-fusion glue: the spectral preconditioner is a pure per-mode
+// diagonal, so B independent jobs' ApplyPrec calls can ride one fused
+// 3·B-field transform pass on a shared executor operator set. Each job
+// keeps its own symbol (its own beta, regularization norm, and — for the
+// shifted variant — its current Levenberg shift), evaluated with exactly
+// the solo ApplyPrec expression, so fused results are bit-identical.
+
+// PrecFusable reports whether this problem's preconditioner application
+// is the pure spectral diagonal and may therefore join a fused batch
+// pass. The two-level preconditioner runs coarse-grid solves and must
+// stay solo. (A problem whose two-level build later degrades to the
+// diagonal simply keeps running solo — the solo path applies the same
+// diagonal, so fusability is safely conservative.)
+func (p *Problem) PrecFusable() bool { return !p.Opt.TwoLevelPrec }
+
+// precSymbol returns the diagonal symbol of the preconditioner in the
+// problem's current state; beta and the shift are read now, matching the
+// call-time reads of the solo ApplyPrec.
+func (p *Problem) precSymbol() func(k1, k2, k3 int) float64 {
+	beta := p.Opt.Beta
+	h2 := p.Opt.Reg == RegH2
+	sigma := 0.0
+	if p.Opt.ShiftedPrec {
+		sigma = p.sigma
+	}
+	return func(k1, k2, k3 int) float64 {
+		q := float64(k1*k1 + k2*k2 + k3*k3)
+		a := q
+		if h2 {
+			a = q * q
+		}
+		if sigma == 0 && a == 0 {
+			a = 1
+		}
+		return 1 / (beta*a + sigma)
+	}
+}
+
+// FusedPrec builds the batch scheduler's fused-preconditioner executor
+// over the given problems. exec is an operator set reserved for the
+// scheduler (bound to the rank's base communicator); jobs indexes ps.
+// Each returned vector is fresh and allocated on its job's own pencil.
+func FusedPrec(exec *spectral.Ops, ps []*Problem) func(jobs []int, rs []*field.Vector) []*field.Vector {
+	return func(jobs []int, rs []*field.Vector) []*field.Vector {
+		outs := make([]*field.Vector, len(rs))
+		fs := make([]func(k1, k2, k3 int) float64, len(rs))
+		for i, j := range jobs {
+			outs[i] = field.NewVector(ps[j].Pe)
+			fs[i] = ps[j].precSymbol()
+		}
+		exec.DiagVectorBatch(rs, outs, fs)
+		return outs
+	}
+}

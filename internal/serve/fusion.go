@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"diffreg"
+	"diffreg/internal/mpi"
+	"diffreg/internal/prec"
+)
+
+// Job fusion: with Config.MaxBatch > 1 a dispatcher sits between the
+// admission queue and the workers. It holds each fusable job for a short
+// admission window, groups queued jobs of identical fusion shape —
+// (grid, tasks, precision, cache opt-out) — up to MaxBatch, and hands
+// the group to a worker, which executes it as ONE fused solver pass via
+// diffreg.RegisterFused. Jobs of a different shape arriving inside the
+// window are dispatched solo immediately (they never wait behind an open
+// group). Per-job lifecycle — events stream, cancel, timeout, result —
+// is unchanged; only the execution vehicle differs.
+
+// FusionStats is the fusion section of GET /stats.
+type FusionStats struct {
+	// Enabled mirrors MaxBatch > 1.
+	Enabled bool `json:"enabled"`
+	// MaxBatch is the configured fusion width cap.
+	MaxBatch int `json:"max_batch"`
+	// Batches counts fused groups executed (width ≥ 2).
+	Batches int64 `json:"batches"`
+	// FusedJobs counts jobs that ran inside those groups.
+	FusedJobs int64 `json:"fused_jobs"`
+	// MeanFill is the mean fused-group width over MaxBatch (0 when no
+	// fused batch has run).
+	MeanFill float64 `json:"mean_fill"`
+	// EarlyDropouts counts jobs that left a fused batch while neighbors
+	// were still iterating (converged/failed/canceled early).
+	EarlyDropouts int64 `json:"early_dropouts"`
+}
+
+// fuseKey is the grouping shape of the admission window. Two jobs fuse
+// only when their keys are equal; solver knobs not in the key (beta,
+// regularization, distance, tolerances, budgets) vary freely inside a
+// batch.
+type fuseKey struct {
+	n         [3]int
+	tasks     int
+	precision string
+	noCache   bool
+}
+
+// fusionKey classifies a job: ok=false means the job must run solo
+// (shapes the fused pass does not support). Validate has already run, so
+// the precision string parses.
+func fusionKey(spec *JobSpec) (fuseKey, bool) {
+	if spec.MultilevelLevels > 1 || len(spec.ContinuationBetas) > 0 ||
+		spec.VelocityIntervals > 1 || spec.Chaos != "" {
+		return fuseKey{}, false
+	}
+	p, err := prec.Parse(spec.Precision)
+	if err != nil {
+		return fuseKey{}, false
+	}
+	tasks := spec.Tasks
+	if tasks == 0 {
+		tasks = 1
+	}
+	return fuseKey{n: spec.N, tasks: tasks, precision: p.String(), noCache: spec.NoCache}, true
+}
+
+// dispatch is the fusion scheduler goroutine: it drains the admission
+// queue into per-shape groups bounded by the admission window and the
+// batch cap, and feeds the worker channel.
+func (s *Server) dispatch(batches chan<- []*Job) {
+	defer close(batches)
+	window := s.cfg.BatchWindow
+	for job := range s.queue {
+		key, fusable := fusionKey(&job.Spec)
+		if !fusable {
+			batches <- []*Job{job}
+			continue
+		}
+		group := []*Job{job}
+		timer := time.NewTimer(window)
+	collect:
+		for len(group) < s.cfg.MaxBatch {
+			select {
+			case next, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				if k, f := fusionKey(&next.Spec); f && k == key {
+					group = append(group, next)
+				} else {
+					// A different shape never waits behind the open group.
+					batches <- []*Job{next}
+				}
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		batches <- group
+	}
+}
+
+// runBatch executes one dispatched group. Singleton groups take the solo
+// path unchanged; larger groups run as one fused solver pass.
+func (s *Server) runBatch(group []*Job) {
+	if len(group) == 1 {
+		s.runJob(group[0])
+		return
+	}
+
+	// Claim the group's members; jobs canceled while queued drop out here.
+	jobs := group[:0]
+	for _, job := range group {
+		if job.setRunning() {
+			jobs = append(jobs, job)
+		} else {
+			s.canceled.Add(1)
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	if len(jobs) == 1 {
+		s.runClaimed(jobs[0])
+		return
+	}
+	s.running.Add(int64(len(jobs)))
+	defer s.running.Add(-int64(len(jobs)))
+	if s.cfg.beforeRun != nil {
+		for _, job := range jobs {
+			s.cfg.beforeRun(job)
+		}
+	}
+
+	fused := make([]diffreg.FusedJob, 0, len(jobs))
+	live := make([]*Job, 0, len(jobs))
+	var rec *sourceRecorder
+	for _, job := range jobs {
+		template, reference, err := s.volumes(&job.Spec)
+		if err != nil {
+			s.failed.Add(1)
+			job.finish(JobFailed, nil, err.Error(), "solver", nil)
+			continue
+		}
+		cfg := job.Spec.config()
+		cfg.StopRequested = job.stop.Load
+		cfg.OnProgress = job.progress
+		if timeout := job.Spec.effectiveTimeout(s.cfg.DefaultTimeout); timeout > 0 {
+			job := job
+			timer := time.AfterFunc(timeout, func() {
+				job.timedOut.Store(true)
+				job.stop.Store(true)
+			})
+			defer timer.Stop()
+		}
+		fused = append(fused, diffreg.FusedJob{Template: template, Reference: reference, Config: cfg})
+		live = append(live, job)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if s.cache != nil && !live[0].Spec.NoCache {
+		// One batch-wide lease (keyed by width B+1); RegisterFused reads
+		// the plan source from the first job's config.
+		rec = &sourceRecorder{pc: s.cache}
+		fused[0].Config.Plans = rec
+	}
+
+	s.fusionBatches.Add(1)
+	s.fusionJobs.Add(int64(len(live)))
+	s.logf("fused batch of %d: %v tasks=%d", len(live), live[0].Spec.N, fused[0].Config.Tasks)
+
+	t0 := time.Now()
+	results, info, err := diffreg.RegisterFused(fused)
+	wall := time.Since(t0).Seconds()
+
+	if err != nil {
+		// A batch-level failure (invalid member, rank failure mid-pass)
+		// fails every member: the fused world is one solver pass.
+		kind := "solver"
+		var ce *mpi.CommError
+		if errors.As(err, &ce) {
+			kind = "comm"
+		}
+		for _, job := range live {
+			s.failed.Add(1)
+			job.finish(JobFailed, nil, err.Error(), kind, nil)
+		}
+		s.logf("fused batch failed (%s): %v", kind, err)
+		return
+	}
+	if info != nil {
+		s.fusionDropouts.Add(int64(info.EarlyDropouts))
+	}
+	for i, job := range live {
+		s.finishSolved(job, results[i], wall, rec)
+	}
+}
+
+// runClaimed is runJob for a job that already passed setRunning (a fused
+// group that shrank to one member before launch).
+func (s *Server) runClaimed(job *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	if s.cfg.beforeRun != nil {
+		s.cfg.beforeRun(job)
+	}
+	template, reference, err := s.volumes(&job.Spec)
+	if err != nil {
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, err.Error(), "solver", nil)
+		return
+	}
+	cfg := job.Spec.config()
+	cfg.StopRequested = job.stop.Load
+	cfg.OnProgress = job.progress
+	var rec *sourceRecorder
+	if s.cache != nil && !job.Spec.NoCache {
+		rec = &sourceRecorder{pc: s.cache}
+		cfg.Plans = rec
+	}
+	if timeout := job.Spec.effectiveTimeout(s.cfg.DefaultTimeout); timeout > 0 {
+		timer := time.AfterFunc(timeout, func() {
+			job.timedOut.Store(true)
+			job.stop.Store(true)
+		})
+		defer timer.Stop()
+	}
+	t0 := time.Now()
+	res, err := diffreg.Register(template, reference, cfg)
+	wall := time.Since(t0).Seconds()
+	if err != nil {
+		kind := "solver"
+		var ce *mpi.CommError
+		if errors.As(err, &ce) {
+			kind = "comm"
+		}
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, err.Error(), kind, nil)
+		s.logf("%s failed (%s): %v", job.ID, kind, err)
+		return
+	}
+	s.finishSolved(job, res, wall, rec)
+}
+
+// finishSolved maps one completed solve onto the job lifecycle — the
+// shared tail of the solo and fused execution paths.
+func (s *Server) finishSolved(job *Job, res *diffreg.Result, wall float64, rec *sourceRecorder) {
+	switch {
+	case res.Failed:
+		s.failed.Add(1)
+		job.finish(JobFailed, nil, res.FailReason, "solver", res.Degradations)
+		s.logf("%s failed: %s", job.ID, res.FailReason)
+	case res.Interrupted && job.timedOut.Load():
+		s.failed.Add(1)
+		job.finish(JobFailed, buildResult(res, wall, rec, &job.Spec),
+			fmt.Sprintf("watchdog: job exceeded its timeout; stopped cooperatively after %d iterations", res.NewtonIters),
+			"timeout", res.Degradations)
+		s.logf("%s timed out after %d iterations", job.ID, res.NewtonIters)
+	case res.Interrupted && job.canceled.Load():
+		s.canceled.Add(1)
+		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "canceled", "", res.Degradations)
+		s.logf("%s canceled after %d iterations", job.ID, res.NewtonIters)
+	case res.Interrupted:
+		s.canceled.Add(1)
+		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "server shutdown", "shutdown", res.Degradations)
+	default:
+		s.done.Add(1)
+		job.finish(JobDone, buildResult(res, wall, rec, &job.Spec), "", "", res.Degradations)
+		s.logf("%s done: misfit %.3e -> %.3e in %.2fs", job.ID, res.MisfitInit, res.MisfitFinal, wall)
+	}
+}

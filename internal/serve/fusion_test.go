@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"diffreg"
+	"diffreg/internal/pfft"
+)
+
+// fusionSpecs returns three same-shape jobs with distinct solver knobs —
+// fusable into one group, but with different trajectories, and with
+// staggered budgets so one job drops out of the batch early.
+func fusionSpecs() []JobSpec {
+	base := JobSpec{
+		Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 2,
+		TimeSteps: 2, GradTol: 1e-12, MaxKrylovIters: 5, ReturnFields: true,
+	}
+	specs := make([]JobSpec, 3)
+	for i := range specs {
+		specs[i] = base
+	}
+	specs[0].Beta = 1e-2
+	specs[0].MaxNewtonIters = 2
+	specs[1].Beta = 5e-2
+	specs[1].MaxNewtonIters = 2
+	specs[2].Beta = 1e-2
+	specs[2].MaxNewtonIters = 1 // drops out of the batch after one iteration
+	return specs
+}
+
+// submitAll enqueues every spec and waits for all jobs to reach a
+// terminal state, returning the results in submission order.
+func submitAll(t *testing.T, srv *Server, specs []JobSpec) []*JobResult {
+	t.Helper()
+	jobs := make([]*Job, len(specs))
+	for i, spec := range specs {
+		job, err := srv.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = job
+	}
+	results := make([]*JobResult, len(jobs))
+	for i, job := range jobs {
+		select {
+		case <-job.Done():
+		case <-time.After(2 * time.Minute):
+			t.Fatalf("job %d hung", i)
+		}
+		if st := job.Status(); st.State != JobDone {
+			t.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+		results[i] = job.Result()
+	}
+	return results
+}
+
+// TestFusedServerBitIdenticalToTimeSliced is the serve-layer identity
+// gate: the same three jobs, run through a MaxBatch=4 server (one fused
+// solver pass) and a MaxBatch=1 server (time-sliced solo jobs), must
+// produce Float64bits-identical results — and the fused server's
+// /stats fusion counters must record the batch.
+func TestFusedServerBitIdenticalToTimeSliced(t *testing.T) {
+	specs := fusionSpecs()
+
+	solo := New(Config{Workers: 1, QueueDepth: 8})
+	soloRes := submitAll(t, solo, specs)
+	solo.Close()
+
+	fusedSrv := New(Config{Workers: 1, QueueDepth: 8, MaxBatch: 4, BatchWindow: 300 * time.Millisecond})
+	fusedRes := submitAll(t, fusedSrv, specs)
+	st := fusedSrv.Stats()
+	fusedSrv.Close()
+
+	if st.Fusion.Batches != 1 || st.Fusion.FusedJobs != 3 {
+		t.Errorf("fusion counters: batches=%d fused_jobs=%d, want 1 and 3 (window missed the group?)",
+			st.Fusion.Batches, st.Fusion.FusedJobs)
+	}
+	if st.Fusion.Batches == 1 {
+		if want := 3.0 / 4.0; st.Fusion.MeanFill != want {
+			t.Errorf("mean_fill = %v, want %v", st.Fusion.MeanFill, want)
+		}
+		if st.Fusion.EarlyDropouts == 0 {
+			t.Error("staggered budgets should produce at least one early dropout")
+		}
+	}
+
+	for i := range specs {
+		f, s := fusedRes[i], soloRes[i]
+		if f.NewtonIters != s.NewtonIters {
+			t.Errorf("job %d: fused iters %d != solo %d", i, f.NewtonIters, s.NewtonIters)
+		}
+		for _, c := range []struct {
+			field     string
+			got, want float64
+		}{
+			{"misfit_init", f.MisfitInit, s.MisfitInit},
+			{"misfit_final", f.MisfitFinal, s.MisfitFinal},
+			{"gnorm_final", f.GnormFinal, s.GnormFinal},
+			{"det_min", f.DetMin, s.DetMin},
+			{"det_mean", f.DetMean, s.DetMean},
+		} {
+			if math.Float64bits(c.got) != math.Float64bits(c.want) {
+				t.Errorf("job %d %s: fused %v != solo %v", i, c.field, c.got, c.want)
+			}
+		}
+		for k := range s.Warped {
+			if math.Float64bits(f.Warped[k]) != math.Float64bits(s.Warped[k]) {
+				t.Errorf("job %d warped[%d]: fused %v != solo %v", i, k, f.Warped[k], s.Warped[k])
+				break
+			}
+		}
+		for d := range s.Velocity {
+			for k := range s.Velocity[d] {
+				if math.Float64bits(f.Velocity[d][k]) != math.Float64bits(s.Velocity[d][k]) {
+					t.Errorf("job %d velocity[%d][%d] differs", i, d, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFusionShapeMismatchDispatchesSolo: a job of a different fusion
+// shape arriving inside an open admission window must not be absorbed
+// into the group nor held behind it.
+func TestFusionShapeMismatchDispatchesSolo(t *testing.T) {
+	srv := New(Config{Workers: 2, QueueDepth: 8, MaxBatch: 4, BatchWindow: 300 * time.Millisecond})
+	defer srv.Close()
+	a := JobSpec{Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 2,
+		TimeSteps: 2, MaxNewtonIters: 1, GradTol: 1e-12}
+	b := a
+	b.Tasks = 1 // different fusion shape
+	submitAll(t, srv, []JobSpec{a, b, a})
+	st := srv.Stats()
+	if st.Fusion.FusedJobs != 2 {
+		t.Errorf("fused_jobs = %d, want 2 (the two same-shape jobs)", st.Fusion.FusedJobs)
+	}
+	if st.Done != 3 {
+		t.Errorf("done = %d, want 3", st.Done)
+	}
+}
+
+// TestUnfusableJobRunsSoloUnderFusion: shapes RegisterFused rejects
+// (multilevel, continuation, time-varying velocity, chaos) must flow
+// through a fusion-enabled server on the solo path.
+func TestUnfusableJobRunsSoloUnderFusion(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxBatch: 4, BatchWindow: 50 * time.Millisecond})
+	defer srv.Close()
+	spec := JobSpec{Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 1,
+		TimeSteps: 2, MaxNewtonIters: 1, GradTol: 1e-12, MultilevelLevels: 2}
+	submitAll(t, srv, []JobSpec{spec})
+	if st := srv.Stats(); st.Fusion.FusedJobs != 0 || st.Fusion.Batches != 0 {
+		t.Errorf("multilevel job must not be fused: %+v", st.Fusion)
+	}
+}
+
+// TestRegisterFusedWarmCacheBitIdentical is the warm-cache leg of the
+// fused identity gate: a second fused batch through the plan cache
+// reuses every donated operator set — zero plan builds, zero arena
+// grows — and still reproduces the cold batch bit for bit.
+func TestRegisterFusedWarmCacheBitIdentical(t *testing.T) {
+	for _, precision := range []string{"float64", "float32"} {
+		tmpl, ref, err := diffreg.SyntheticProblem(16, 16, 16, 2, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc := NewPlanCache(4)
+		mkJobs := func() []diffreg.FusedJob {
+			jobs := make([]diffreg.FusedJob, 2)
+			for j := range jobs {
+				jobs[j] = diffreg.FusedJob{Template: tmpl, Reference: ref, Config: diffreg.Config{
+					Tasks: 2, Precision: precision, TimeSteps: 2,
+					MaxNewtonIters: 2, MaxKrylovIters: 4, GradTol: 1e-12,
+					Beta: 1e-2 * float64(j+1),
+				}}
+			}
+			jobs[0].Config.Plans = pc
+			return jobs
+		}
+
+		cold, _, err := diffreg.RegisterFused(mkJobs())
+		if err != nil {
+			t.Fatalf("%s cold: %v", precision, err)
+		}
+		if st := pc.Stats(); st.Hits != 0 || st.Misses != 1 || st.Entries != 1 {
+			t.Fatalf("%s after cold fused batch: %+v", precision, st)
+		}
+
+		builds, grows := pfft.PlanBuilds(), pfft.ArenaGrows()
+		warm, _, err := diffreg.RegisterFused(mkJobs())
+		if err != nil {
+			t.Fatalf("%s warm: %v", precision, err)
+		}
+		if db, dg := pfft.PlanBuilds()-builds, pfft.ArenaGrows()-grows; db != 0 || dg != 0 {
+			t.Errorf("%s warm fused batch: %d plan builds, %d arena grows (want 0, 0)", precision, db, dg)
+		}
+		if st := pc.Stats(); st.Hits != 1 {
+			t.Fatalf("%s warm fused batch missed the cache: %+v", precision, st)
+		}
+		for j := range cold {
+			if math.Float64bits(warm[j].MisfitFinal) != math.Float64bits(cold[j].MisfitFinal) {
+				t.Errorf("%s job %d: warm misfit %v != cold %v", precision, j, warm[j].MisfitFinal, cold[j].MisfitFinal)
+			}
+			for k := range cold[j].Warped.Data {
+				if math.Float64bits(warm[j].Warped.Data[k]) != math.Float64bits(cold[j].Warped.Data[k]) {
+					t.Errorf("%s job %d: warm warped[%d] differs from cold", precision, j, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestFusionStatsJSONShape pins the /stats fusion block wire format.
+func TestFusionStatsJSONShape(t *testing.T) {
+	b, err := json.Marshal(FusionStats{Enabled: true, MaxBatch: 4, Batches: 2,
+		FusedJobs: 6, MeanFill: 0.75, EarlyDropouts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"enabled":true,"max_batch":4,"batches":2,"fused_jobs":6,"mean_fill":0.75,"early_dropouts":1}`
+	if got := string(bytes.TrimSpace(b)); got != want {
+		t.Fatalf("fusion stats JSON drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// And the fusion block rides inside GET /stats.
+	srv := New(Config{Workers: 1, MaxBatch: 3})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := body["fusion"]
+	if !ok {
+		t.Fatalf("/stats body has no fusion block: %v", body)
+	}
+	var fs FusionStats
+	if err := json.Unmarshal(raw, &fs); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Enabled || fs.MaxBatch != 3 {
+		t.Fatalf("fusion block: %+v, want enabled with max_batch 3", fs)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"diffreg"
-	"diffreg/internal/mpi"
 )
 
 // Config sizes the server. Zero values take the documented defaults; set
@@ -31,6 +30,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Logf receives server lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
+
+	// MaxBatch enables job fusion when > 1: queued jobs of identical
+	// fusion shape — (grid, tasks, precision, cache opt-out) — are
+	// grouped up to this width and executed as one fused solver pass
+	// (see diffreg.RegisterFused). Per-job results are bit-identical to
+	// solo execution. 0 or 1 disables fusion.
+	MaxBatch int
+	// BatchWindow is how long the fusion dispatcher holds a fusable job
+	// open for same-shape companions before dispatching (default 25ms).
+	// Only meaningful with MaxBatch > 1.
+	BatchWindow time.Duration
 
 	// beforeRun, when set, runs in the worker immediately before a job's
 	// solve starts — a test hook for making "worker busy" deterministic.
@@ -60,8 +70,9 @@ type ServerStats struct {
 	Failed       int64      `json:"failed"`
 	Canceled     int64      `json:"canceled"`
 	Rejected     int64      `json:"rejected"`
-	Cache        CacheStats `json:"cache"`
-	CacheEnabled bool       `json:"cache_enabled"`
+	Cache        CacheStats  `json:"cache"`
+	CacheEnabled bool        `json:"cache_enabled"`
+	Fusion       FusionStats `json:"fusion"`
 }
 
 // Server is the registration job server: a bounded queue feeding a fixed
@@ -84,6 +95,10 @@ type Server struct {
 	failed   atomic.Int64
 	canceled atomic.Int64
 	rejected atomic.Int64
+
+	fusionBatches  atomic.Int64
+	fusionJobs     atomic.Int64
+	fusionDropouts atomic.Int64
 
 	genMu sync.Mutex
 	gen   map[genKey]genPair
@@ -174,6 +189,29 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = NewPlanCache(cfg.CacheEntries)
 	}
+	if cfg.MaxBatch > 1 {
+		// Fusion: one dispatcher groups the queue into fused batches;
+		// workers consume groups.
+		if s.cfg.BatchWindow <= 0 {
+			s.cfg.BatchWindow = 25 * time.Millisecond
+		}
+		batches := make(chan []*Job, cfg.Workers)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.dispatch(batches)
+		}()
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for group := range batches {
+					s.runBatch(group)
+				}
+			}()
+		}
+		return s
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -238,6 +276,16 @@ func (s *Server) Stats() ServerStats {
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
 	}
+	st.Fusion = FusionStats{
+		Enabled:       s.cfg.MaxBatch > 1,
+		MaxBatch:      s.cfg.MaxBatch,
+		Batches:       s.fusionBatches.Load(),
+		FusedJobs:     s.fusionJobs.Load(),
+		EarlyDropouts: s.fusionDropouts.Load(),
+	}
+	if st.Fusion.Batches > 0 {
+		st.Fusion.MeanFill = float64(st.Fusion.FusedJobs) / float64(st.Fusion.Batches) / float64(s.cfg.MaxBatch)
+	}
 	return st
 }
 
@@ -288,8 +336,8 @@ type sourceRecorder struct {
 	hit atomic.Bool
 }
 
-func (r *sourceRecorder) Acquire(n [3]int, tasks int, precision string) diffreg.PlanLease {
-	lease := r.pc.Acquire(n, tasks, precision)
+func (r *sourceRecorder) Acquire(n [3]int, tasks int, precision string, slots int) diffreg.PlanLease {
+	lease := r.pc.Acquire(n, tasks, precision, slots)
 	if pl, ok := lease.(*planLease); ok && pl.Hit() {
 		r.hit.Store(true)
 	}
@@ -302,70 +350,7 @@ func (s *Server) runJob(job *Job) {
 		s.canceled.Add(1) // canceled while queued; the worker skips it
 		return
 	}
-	s.running.Add(1)
-	defer s.running.Add(-1)
-	if s.cfg.beforeRun != nil {
-		s.cfg.beforeRun(job)
-	}
-
-	template, reference, err := s.volumes(&job.Spec)
-	if err != nil {
-		s.failed.Add(1)
-		job.finish(JobFailed, nil, err.Error(), "solver", nil)
-		return
-	}
-	cfg := job.Spec.config()
-	cfg.StopRequested = job.stop.Load
-	cfg.OnProgress = job.progress
-	var rec *sourceRecorder
-	if s.cache != nil && !job.Spec.NoCache {
-		rec = &sourceRecorder{pc: s.cache}
-		cfg.Plans = rec
-	}
-	if timeout := job.Spec.effectiveTimeout(s.cfg.DefaultTimeout); timeout > 0 {
-		timer := time.AfterFunc(timeout, func() {
-			job.timedOut.Store(true)
-			job.stop.Store(true)
-		})
-		defer timer.Stop()
-	}
-
-	t0 := time.Now()
-	res, err := diffreg.Register(template, reference, cfg)
-	wall := time.Since(t0).Seconds()
-
-	switch {
-	case err != nil:
-		kind := "solver"
-		var ce *mpi.CommError
-		if errors.As(err, &ce) {
-			kind = "comm"
-		}
-		s.failed.Add(1)
-		job.finish(JobFailed, nil, err.Error(), kind, nil)
-		s.logf("%s failed (%s): %v", job.ID, kind, err)
-	case res.Failed:
-		s.failed.Add(1)
-		job.finish(JobFailed, nil, res.FailReason, "solver", res.Degradations)
-		s.logf("%s failed: %s", job.ID, res.FailReason)
-	case res.Interrupted && job.timedOut.Load():
-		s.failed.Add(1)
-		job.finish(JobFailed, buildResult(res, wall, rec, &job.Spec),
-			fmt.Sprintf("watchdog: job exceeded its timeout; stopped cooperatively after %d iterations", res.NewtonIters),
-			"timeout", res.Degradations)
-		s.logf("%s timed out after %d iterations", job.ID, res.NewtonIters)
-	case res.Interrupted && job.canceled.Load():
-		s.canceled.Add(1)
-		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "canceled", "", res.Degradations)
-		s.logf("%s canceled after %d iterations", job.ID, res.NewtonIters)
-	case res.Interrupted:
-		s.canceled.Add(1)
-		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "server shutdown", "shutdown", res.Degradations)
-	default:
-		s.done.Add(1)
-		job.finish(JobDone, buildResult(res, wall, rec, &job.Spec), "", "", res.Degradations)
-		s.logf("%s done: misfit %.3e -> %.3e in %.2fs", job.ID, res.MisfitInit, res.MisfitFinal, wall)
-	}
+	s.runClaimed(job)
 }
 
 func buildResult(res *diffreg.Result, wall float64, rec *sourceRecorder, spec *JobSpec) *JobResult {

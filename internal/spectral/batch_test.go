@@ -6,6 +6,9 @@ import (
 
 	"diffreg/internal/field"
 	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/pfft"
+	"diffreg/internal/prec"
 )
 
 // randomVector fills a vector field deterministically.
@@ -132,4 +135,53 @@ func TestLerayZeroAllocs(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+// TestDiagVectorBatchMatchesSolo asserts the job-fused diagonal pass —
+// B jobs' vector fields riding one 3·B-component transform batch — is
+// bitwise identical per job to B solo DiagVector calls, at 1 and 4
+// ranks and in both wire precisions.
+func TestDiagVectorBatchMatchesSolo(t *testing.T) {
+	g := grid.MustNew(8, 12, 10)
+	fs := []func(k1, k2, k3 int) float64{
+		func(k1, k2, k3 int) float64 { return 1 / (1 + ksq(k1, k2, k3)) },
+		func(k1, k2, k3 int) float64 { q := ksq(k1, k2, k3); return 1 / (0.5*q*q + 1e-3) },
+		func(k1, k2, k3 int) float64 { return 0.25 },
+	}
+	for _, pr := range []prec.Precision{prec.F64, prec.F32} {
+		for _, p := range []int{1, 4} {
+			_, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+				pe, err := grid.NewPencil(g, c)
+				if err != nil {
+					return err
+				}
+				o := New(pfft.NewPlanPrec(pe, pr))
+				vs := make([]*field.Vector, len(fs))
+				outs := make([]*field.Vector, len(fs))
+				want := make([]*field.Vector, len(fs))
+				for i := range fs {
+					vs[i] = randomVector(o, int64(40+i))
+					outs[i] = field.NewVector(o.Pe)
+					want[i] = o.DiagVector(vs[i].Clone(), fs[i])
+				}
+				o.WarmBatch(len(fs))
+				o.DiagVectorBatch(vs, outs, fs)
+				for i := range fs {
+					for d := 0; d < 3; d++ {
+						for k := range want[i].C[d].Data {
+							if outs[i].C[d].Data[k] != want[i].C[d].Data[k] {
+								t.Errorf("prec=%v p=%d job=%d d=%d i=%d: fused %v != solo %v",
+									pr, p, i, d, k, outs[i].C[d].Data[k], want[i].C[d].Data[k])
+								return nil
+							}
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
 }
