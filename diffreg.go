@@ -289,6 +289,17 @@ type Result struct {
 	FFTs         int64
 	InterpSweeps int64
 
+	// InterpMsgs and InterpBytes count this rank's interpolation-phase
+	// point-to-point traffic (ghost halos plus scattered-value returns).
+	// FusedInterpExchanges counts cross-job fused gather exchanges and
+	// FusedInterpJobs the job requests they carried; both are zero for
+	// solo solves, and Jobs/Exchanges is the achieved job-axis batching
+	// factor of a fused one.
+	InterpMsgs           int64
+	InterpBytes          int64
+	FusedInterpExchanges int64
+	FusedInterpJobs      int64
+
 	// History records the outer-iteration convergence trace.
 	History []IterationRecord
 
@@ -565,6 +576,8 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			res.Phases = out.Phases
 			res.FFTs = out.Counts.FFTs
 			res.InterpSweeps = out.Counts.InterpSweeps
+			res.InterpMsgs = out.Counts.InterpMsgs
+			res.InterpBytes = out.Counts.InterpBytes
 			for _, h := range out.Result.History {
 				res.History = append(res.History, IterationRecord{
 					Iter: h.Iter, Objective: h.J, Misfit: h.Misfit,

@@ -311,6 +311,10 @@ func RegisterFused(jobs []FusedJob) ([]*Result, *FusedInfo, error) {
 				res.Phases = out.Phases
 				res.FFTs = out.Counts.FFTs
 				res.InterpSweeps = out.Counts.InterpSweeps
+				res.InterpMsgs = out.Counts.InterpMsgs
+				res.InterpBytes = out.Counts.InterpBytes
+				res.FusedInterpExchanges = out.Counts.FusedInterpExchanges
+				res.FusedInterpJobs = out.Counts.FusedInterpJobs
 				for _, h := range out.Result.History {
 					res.History = append(res.History, IterationRecord{
 						Iter: h.Iter, Objective: h.J, Misfit: h.Misfit,

@@ -104,6 +104,30 @@ func TestRegisterFusedBitIdenticalToSolo(t *testing.T) {
 					volumeBitsEqual(t, label("velocity"), got.Velocity[d], want.Velocity[d])
 				}
 			}
+
+			// Transport-gather fusion accounting. The heterogeneous knobs
+			// desynchronize the batch after job budgets diverge, so not
+			// every exchange fuses — but the lock-stepped prefix must, and
+			// at p > 1 the fused batch's interp-phase message count (a
+			// rank-wide batch aggregate) must undercut the sum of the solo
+			// runs'.
+			if fusedRes[0].FusedInterpExchanges == 0 {
+				t.Errorf("prec=%s p=%d: no fused interp exchanges recorded", precision, tasks)
+			}
+			if fusedRes[0].FusedInterpJobs < 2*fusedRes[0].FusedInterpExchanges {
+				t.Errorf("prec=%s p=%d: fused interp fill %d jobs / %d exchanges < 2",
+					precision, tasks, fusedRes[0].FusedInterpJobs, fusedRes[0].FusedInterpExchanges)
+			}
+			if tasks > 1 {
+				var soloMsgs int64
+				for j := range jobs {
+					soloMsgs += solo[j].InterpMsgs
+				}
+				if fusedRes[0].InterpMsgs >= soloMsgs {
+					t.Errorf("prec=%s p=%d: fused batch interp msgs %d did not undercut solo total %d",
+						precision, tasks, fusedRes[0].InterpMsgs, soloMsgs)
+				}
+			}
 		}
 	}
 }

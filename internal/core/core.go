@@ -154,6 +154,17 @@ type Counts struct {
 	Alltoalls       int64
 	TransposeStages int64
 	TransposeFields int64
+
+	// InterpMsgs/InterpBytes count the point-to-point messages and bytes
+	// received in the interpolation-communication phase (ghost-halo
+	// exchanges plus scattered-value returns) on this rank.
+	// FusedInterpExchanges counts cross-job fused gather exchanges and
+	// FusedInterpJobs the job requests they carried — Jobs/Exchanges is
+	// the achieved job-axis batching factor (zero for solo solves).
+	InterpMsgs           int64
+	InterpBytes          int64
+	FusedInterpExchanges int64
+	FusedInterpJobs      int64
 }
 
 // Outcome is the result of one registration solve on the calling rank.
@@ -454,6 +465,8 @@ func Register(pe *grid.Pencil, rhoT, rhoR *field.Scalar, cfg Config) (*Outcome, 
 		Alltoalls:       after.Alltoalls - before.Alltoalls,
 		TransposeStages: after.TransposeStages - before.TransposeStages,
 		TransposeFields: after.TransposeFields - before.TransposeFields,
+		InterpMsgs:      after.Messages[mpi.PhaseInterpComm] - before.Messages[mpi.PhaseInterpComm],
+		InterpBytes:     after.BytesRecv[mpi.PhaseInterpComm] - before.BytesRecv[mpi.PhaseInterpComm],
 	}
 	return out, nil
 }

@@ -109,6 +109,7 @@ func RegisterBatch(base *mpi.Comm, exec *spectral.Ops, pes []*grid.Pencil, rhoTs
 
 	batch := optim.NewBatch[*field.Vector](nb, optim.FusedOps[*field.Vector]{
 		ApplyPrec: regopt.FusedPrec(exec, prs),
+		Interp:    regopt.FusedInterp(exec.Pe),
 		Stop: func(flags []float64) []float64 {
 			return base.AllreduceFloat64(flags, func(a, b float64) float64 {
 				if a > b {
@@ -121,6 +122,16 @@ func RegisterBatch(base *mpi.Comm, exec *spectral.Ops, pes []*grid.Pencil, rhoTs
 
 	for j := range cfgs {
 		cfg := &cfgs[j]
+		// Gate the job's transport interpolations through the scheduler:
+		// lock-stepped calls with matching precision and field count ride
+		// one fused halo exchange and Alltoallv on exec's pencil;
+		// desynchronized calls fall back to their solo exchange inside
+		// their release window. (The epilogue solvers tss[j] run inside
+		// batch.Exclusive and stay ungated.)
+		j := j
+		prs[j].TS.SetGate(regopt.InterpGate(func(key string, payload any) bool {
+			return batch.Interp(j, key, payload)
+		}))
 		if stop := cfg.Checkpoint.Stop; stop != nil {
 			// The collective resolution of the solo path (a scalar
 			// allreduce per poll) becomes one slot of the batch's masked
@@ -214,15 +225,19 @@ func RegisterBatch(base *mpi.Comm, exec *spectral.Ops, pes []*grid.Pencil, rhoTs
 	for j := range outs {
 		outs[j].Phases = phases
 		outs[j].Counts = Counts{
-			NewtonIters:     outs[j].Result.Iters,
-			Matvecs:         prs[j].Matvecs,
-			StateSolves:     prs[j].StateSolves,
-			FFTs:            after.FFTs - before.FFTs,
-			InterpSweeps:    after.InterpSweeps - before.InterpSweeps,
-			InterpPoints:    after.InterpPoints - before.InterpPoints,
-			Alltoalls:       after.Alltoalls - before.Alltoalls,
-			TransposeStages: after.TransposeStages - before.TransposeStages,
-			TransposeFields: after.TransposeFields - before.TransposeFields,
+			NewtonIters:          outs[j].Result.Iters,
+			Matvecs:              prs[j].Matvecs,
+			StateSolves:          prs[j].StateSolves,
+			FFTs:                 after.FFTs - before.FFTs,
+			InterpSweeps:         after.InterpSweeps - before.InterpSweeps,
+			InterpPoints:         after.InterpPoints - before.InterpPoints,
+			Alltoalls:            after.Alltoalls - before.Alltoalls,
+			TransposeStages:      after.TransposeStages - before.TransposeStages,
+			TransposeFields:      after.TransposeFields - before.TransposeFields,
+			InterpMsgs:           after.Messages[mpi.PhaseInterpComm] - before.Messages[mpi.PhaseInterpComm],
+			InterpBytes:          after.BytesRecv[mpi.PhaseInterpComm] - before.BytesRecv[mpi.PhaseInterpComm],
+			FusedInterpExchanges: after.FusedInterpExchanges - before.FusedInterpExchanges,
+			FusedInterpJobs:      after.FusedInterpJobs - before.FusedInterpJobs,
 		}
 	}
 	return outs, BatchInfo{Dropouts: batch.Dropouts(), Rounds: batch.Rounds()}, nil

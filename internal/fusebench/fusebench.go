@@ -1,10 +1,12 @@
-// Package fusebench measures multi-job fusion throughput for
-// BENCH_pr8.json: the same job stream pushed through a time-sliced
-// server (MaxBatch=1) and through fusion-enabled servers (MaxBatch 2
-// and 4), plus a communication-model comparison of one fused pass
-// against the equivalent solo passes. It lives outside paperbench for
-// the same reason servebench does: it imports internal/serve, which
-// imports diffreg.
+// Package fusebench measures multi-job fusion throughput (archived as
+// BENCH_pr8.json / BENCH_pr9.json): the same job stream pushed through
+// a time-sliced server (MaxBatch=1) and through fusion-enabled servers
+// (MaxBatch 2 and 4), plus a communication-model comparison of one
+// fused pass against the equivalent solo passes in both wire
+// precisions, including the fused transport-gather message and byte
+// counts of DESIGN.md §12. It lives outside paperbench for the same
+// reason servebench does: it imports internal/serve, which imports
+// diffreg.
 package fusebench
 
 import (
@@ -46,9 +48,24 @@ type FusionRound struct {
 // as wall clock.
 type CommModel struct {
 	Batch              int     `json:"batch"`
+	Precision          string  `json:"precision"`
 	SoloFFTCommSec     float64 `json:"solo_fft_comm_seconds"`  // B solo passes, summed
 	FusedFFTCommSec    float64 `json:"fused_fft_comm_seconds"` // one fused pass, batch total
 	ModeledCommSpeedup float64 `json:"modeled_comm_speedup"`
+
+	// Interpolation-gather fusion figures: per-rank interp-phase message
+	// and byte counts (ghost halos plus scattered-value returns) of B
+	// solo passes summed against one transport-fused pass, plus the
+	// fused-exchange occupancy counters. The message ratio is the
+	// latency-term win of fusing the semi-Lagrangian gathers across the
+	// job axis (DESIGN.md §12).
+	SoloInterpMsgs       int64   `json:"solo_interp_msgs"`
+	FusedInterpMsgs      int64   `json:"fused_interp_msgs"`
+	SoloInterpBytes      int64   `json:"solo_interp_bytes"`
+	FusedInterpBytes     int64   `json:"fused_interp_bytes"`
+	InterpMsgReduction   float64 `json:"interp_msg_reduction"`
+	FusedInterpExchanges int64   `json:"fused_interp_exchanges"`
+	FusedInterpJobs      int64   `json:"fused_interp_jobs"`
 }
 
 // Snapshot is the machine-readable output of `regbench -batch`.
@@ -58,6 +75,7 @@ type Snapshot struct {
 	Workers     int           `json:"workers"`
 	Rounds      []FusionRound `json:"rounds"`
 	Modeled     CommModel     `json:"modeled_comm"`
+	Modeled32   CommModel     `json:"modeled_comm_float32"`
 	// Note qualifies the measured rounds' environment.
 	Note string `json:"note"`
 }
@@ -123,10 +141,11 @@ func bitIdentical(a, b []*serve.JobResult) bool {
 	return true
 }
 
-// Batch measures fusion throughput for BENCH_pr8: jobs/min at fusion
-// widths 1, 2, and 4 with a single worker (so fused and time-sliced
-// execution compete for the same cores), then the communication-model
-// comparison of a width-4 fused pass against four solo passes.
+// Batch measures fusion throughput: jobs/min at fusion widths 1, 2,
+// and 4 with a single worker (so fused and time-sliced execution
+// compete for the same cores), then the communication-model comparison
+// of one fused pass against the equivalent solo passes in both wire
+// precisions.
 func Batch(quick bool) (paperbench.Report, error) {
 	n := 64
 	jobsTotal := 8
@@ -168,11 +187,22 @@ func Batch(quick bool) (paperbench.Report, error) {
 		snap.Rounds = append(snap.Rounds, round)
 	}
 
-	model, err := commModel(spec, 4)
+	// The transport-fused comparison leg runs at B=2 in quick mode (the
+	// CI smoke) and B=4 in the full run, in both wire precisions.
+	bModel := 4
+	if quick {
+		bModel = 2
+	}
+	model, err := commModel(spec, bModel, "float64")
 	if err != nil {
 		return paperbench.Report{}, err
 	}
 	snap.Modeled = model
+	model32, err := commModel(spec, bModel, "float32")
+	if err != nil {
+		return paperbench.Report{}, err
+	}
+	snap.Modeled32 = model32
 
 	text, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
@@ -183,16 +213,17 @@ func Batch(quick bool) (paperbench.Report, error) {
 
 // commModel runs one job solo and a width-b fused batch of the same job
 // directly through diffreg and compares the cost model's FFT
-// communication figures. The fused figure is the batch total (the
-// simulated MPI layer keeps one counter set per rank), so the fair solo
-// figure is b independent passes summed.
-func commModel(spec serve.JobSpec, b int) (CommModel, error) {
+// communication figures plus the counted interp-phase traffic. The fused
+// figures are batch totals (the simulated MPI layer keeps one counter
+// set per rank), so the fair solo figures are b independent passes
+// summed.
+func commModel(spec serve.JobSpec, b int, precision string) (CommModel, error) {
 	tmpl, ref, err := diffreg.SyntheticProblem(spec.N[0], spec.N[1], spec.N[2], spec.TimeSteps, false)
 	if err != nil {
 		return CommModel{}, err
 	}
 	cfg := diffreg.Config{
-		Tasks: spec.Tasks, TimeSteps: spec.TimeSteps,
+		Tasks: spec.Tasks, TimeSteps: spec.TimeSteps, Precision: precision,
 		MaxNewtonIters: spec.MaxNewtonIters, MaxKrylovIters: spec.MaxKrylovIters,
 		GradTol: spec.GradTol,
 	}
@@ -209,12 +240,22 @@ func commModel(spec serve.JobSpec, b int) (CommModel, error) {
 		return CommModel{}, err
 	}
 	m := CommModel{
-		Batch:           b,
-		SoloFFTCommSec:  float64(b) * solo.Phases.FFTComm,
-		FusedFFTCommSec: fused[0].Phases.FFTComm, // batch total, same on every job
+		Batch:                b,
+		Precision:            cfg.Precision,
+		SoloFFTCommSec:       float64(b) * solo.Phases.FFTComm,
+		FusedFFTCommSec:      fused[0].Phases.FFTComm, // batch total, same on every job
+		SoloInterpMsgs:       int64(b) * solo.InterpMsgs,
+		FusedInterpMsgs:      fused[0].InterpMsgs,
+		SoloInterpBytes:      int64(b) * solo.InterpBytes,
+		FusedInterpBytes:     fused[0].InterpBytes,
+		FusedInterpExchanges: fused[0].FusedInterpExchanges,
+		FusedInterpJobs:      fused[0].FusedInterpJobs,
 	}
 	if m.FusedFFTCommSec > 0 {
 		m.ModeledCommSpeedup = m.SoloFFTCommSec / m.FusedFFTCommSec
+	}
+	if m.FusedInterpMsgs > 0 {
+		m.InterpMsgReduction = float64(m.SoloInterpMsgs) / float64(m.FusedInterpMsgs)
 	}
 	return m, nil
 }

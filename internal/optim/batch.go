@@ -47,6 +47,13 @@ const (
 	// (e.g. the post-solve map reconstruction, which runs collectives on
 	// the job's own communicator) executed inside an exclusive window.
 	CallExclusive
+	// CallInterp is a fusable semi-Lagrangian gather exchange, posted
+	// mid-callback by a transport solver's interpolation gate. Requests
+	// parked in the same round with equal keys are executed by the fused
+	// Interp hook in one batched exchange; singletons (desynchronized
+	// line searches) fall back to the solo exchange in their release
+	// window.
+	CallInterp
 )
 
 // ErrBatchAborted is recorded for fibers that were unwound because the
@@ -75,6 +82,12 @@ type FusedOps[T Vec[T]] struct {
 	// local stop flag of jobs parked at a Stop call this round, zero
 	// elsewhere) and the result must carry the globally-reduced flags.
 	Stop func(flags []float64) []float64
+	// Interp executes a round's same-key interp requests in one fused
+	// gather exchange: jobs[i] is the job index of payloads[i], and the
+	// payloads (opaque to the scheduler — in practice *semilag.BatchCall)
+	// are mutated in place to carry the results. Called only for groups
+	// of two or more requests, in job order, identically on every rank.
+	Interp func(jobs []int, payloads []any)
 }
 
 type batchReq[T Vec[T]] struct {
@@ -85,6 +98,12 @@ type batchReq[T Vec[T]] struct {
 	arg T
 	// exec runs the solo path on the fiber after release.
 	exec func()
+	// ipay/ikey describe a fusable Interp request: the opaque payload
+	// handed to the fused executor, and the fusion key (requests fuse
+	// only within equal keys, so the fused exchange shape stays
+	// SPMD-uniform).
+	ipay any
+	ikey string
 	// fused marks requests the scheduler satisfied itself; out/stopRes
 	// carry the result.
 	fused   bool
@@ -152,6 +171,19 @@ func (b *Batch[T]) GateStop(job int, local func() bool) func() bool {
 		}
 		return req.flag > 0
 	}
+}
+
+// Interp parks a fusable gather request for job: payload describes the
+// exchange (opaque to the scheduler) and key is its SPMD-uniform fusion
+// key. It reports whether the fused executor satisfied the request; on
+// false the caller must run its solo exchange inside the release window
+// it now owns. Unlike the Objective gates this is invoked mid-callback —
+// the release-one-at-a-time protocol makes a re-park inside a callback
+// just another rendezvous participant.
+func (b *Batch[T]) Interp(job int, key string, payload any) bool {
+	req := &batchReq[T]{job: job, kind: CallInterp, ipay: payload, ikey: key}
+	b.park(req)
+	return req.fused
 }
 
 // Exclusive runs fn on job's fiber inside an exclusive window: no other
@@ -296,6 +328,41 @@ func (b *Batch[T]) Run(fibers []func() error) []error {
 				for i, r := range precs {
 					r.fused = true
 					r.out = outs[i]
+				}
+			}
+		}
+
+		// Fused interpolation: group this round's interp requests by
+		// fusion key (first-seen order over the job-sorted round, so the
+		// grouping is identical on every rank) and run each group of two
+		// or more through one batched gather exchange. Singletons stay
+		// unfused and run their solo exchange after release.
+		if b.fused.Interp != nil {
+			var keys []string
+			groups := make(map[string][]*batchReq[T])
+			for _, r := range round {
+				if r.kind != CallInterp {
+					continue
+				}
+				if _, seen := groups[r.ikey]; !seen {
+					keys = append(keys, r.ikey)
+				}
+				groups[r.ikey] = append(groups[r.ikey], r)
+			}
+			for _, key := range keys {
+				g := groups[key]
+				if len(g) < 2 {
+					continue
+				}
+				jobs := make([]int, len(g))
+				pays := make([]any, len(g))
+				for i, r := range g {
+					jobs[i] = r.job
+					pays[i] = r.ipay
+				}
+				b.fused.Interp(jobs, pays)
+				for _, r := range g {
+					r.fused = true
 				}
 			}
 		}

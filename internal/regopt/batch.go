@@ -2,6 +2,8 @@ package regopt
 
 import (
 	"diffreg/internal/field"
+	"diffreg/internal/grid"
+	"diffreg/internal/semilag"
 	"diffreg/internal/spectral"
 )
 
@@ -57,5 +59,32 @@ func FusedPrec(exec *spectral.Ops, ps []*Problem) func(jobs []int, rs []*field.V
 		}
 		exec.DiagVectorBatch(rs, outs, fs)
 		return outs
+	}
+}
+
+// FusedInterp builds the batch scheduler's fused gather executor: one
+// BatchInterp bound to the executor pencil on the rank's base
+// communicator, fed the round's parked interp payloads in job order. The
+// payloads are the *semilag.BatchCall values posted by the problems'
+// transport gates; Run fills their Outs bit-identically to the solo
+// exchanges.
+func FusedInterp(exec *grid.Pencil) func(jobs []int, payloads []any) {
+	bi := semilag.NewBatchInterp(exec)
+	return func(jobs []int, payloads []any) {
+		calls := make([]*semilag.BatchCall, len(payloads))
+		for i, p := range payloads {
+			calls[i] = p.(*semilag.BatchCall)
+		}
+		bi.Run(calls)
+	}
+}
+
+// InterpGate builds the per-job transport gate: each intercepted
+// InterpMany parks a CallInterp request keyed by the call's precision and
+// field count; the scheduler fuses same-key rounds through FusedInterp
+// and lets singletons fall back to their solo exchange.
+func InterpGate(park func(key string, payload any) bool) semilag.Gate {
+	return func(call *semilag.BatchCall) bool {
+		return park(call.Key(), call)
 	}
 }

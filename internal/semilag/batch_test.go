@@ -1,0 +1,217 @@
+package semilag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"diffreg/internal/grid"
+	"diffreg/internal/mpi"
+	"diffreg/internal/par"
+	"diffreg/internal/prec"
+)
+
+// batchPoints builds a per-job off-grid query cloud, decorrelated by seed.
+func batchPoints(g grid.Grid, nq int, seed int64) [3][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var pts [3][]float64
+	for d := 0; d < 3; d++ {
+		pts[d] = make([]float64, nq)
+		for q := range pts[d] {
+			pts[d][q] = rng.Float64() * float64(g.N[d])
+		}
+	}
+	return pts
+}
+
+// TestBatchInterpBitIdenticalToSolo asserts the fused gather executor
+// reproduces each call's solo InterpMany bit for bit, for heterogeneous
+// point clouds and field counts sharing one key shape, at one rank (all
+// exchanges local wraps) and four ranks (both halo pairs and the value
+// Alltoallv exercised), in both precisions. It also pins the fused
+// message count: one fused exchange costs exactly as many messages as ONE
+// solo exchange, however many jobs it carries.
+func TestBatchInterpBitIdenticalToSolo(t *testing.T) {
+	g := grid.MustNew(8, 12, 10)
+	f1 := globalRandom(g.N, 1)
+	f2 := globalRandom(g.N, 2)
+	for _, p := range []int{1, 4} {
+		for _, pr := range []prec.Precision{prec.F64, prec.F32} {
+			_, err := mpi.Run(p, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+				pe, err := grid.NewPencil(g, c)
+				if err != nil {
+					return err
+				}
+				l1, l2 := localOf(pe, f1), localOf(pe, f2)
+				fieldSets := [][][]float64{
+					{l1, l2},
+					{l2, l1},
+					{l1, l1},
+				}
+				nb := len(fieldSets)
+
+				// Solo reference: fresh plans, one exchange each; outs are
+				// plan scratch, so copy them. Plans are built outside the
+				// measurement window — planning runs its own points exchange.
+				soloPlans := make([]*Plan, nb)
+				for j := 0; j < nb; j++ {
+					soloPlans[j] = NewPlanPrec(pe, batchPoints(g, 40+10*j, int64(j+1)), pr)
+				}
+				want := make([][][]float64, nb)
+				soloBefore := *c.Stats()
+				for j := 0; j < nb; j++ {
+					outs := soloPlans[j].InterpMany(fieldSets[j]...)
+					want[j] = make([][]float64, len(outs))
+					for i, o := range outs {
+						want[j][i] = append([]float64(nil), o...)
+					}
+				}
+				soloAfter := *c.Stats()
+				soloMsgs := soloAfter.Messages[mpi.PhaseInterpComm] - soloBefore.Messages[mpi.PhaseInterpComm]
+
+				// Fused run over congruent fresh plans with the same clouds.
+				calls := make([]*BatchCall, nb)
+				for j := 0; j < nb; j++ {
+					pl := NewPlanPrec(pe, batchPoints(g, 40+10*j, int64(j+1)), pr)
+					calls[j] = &BatchCall{Plan: pl, Fields: fieldSets[j]}
+					if calls[j].Key() != calls[0].Key() {
+						t.Errorf("p=%d %v: keys differ within the batch: %q vs %q",
+							p, pr, calls[j].Key(), calls[0].Key())
+						return nil
+					}
+				}
+				bi := NewBatchInterp(pe)
+				fusedBefore := *c.Stats()
+				bi.Run(calls)
+				fusedAfter := *c.Stats()
+
+				for j, call := range calls {
+					for i := range want[j] {
+						for q := range want[j][i] {
+							if math.Float64bits(call.Outs[i][q]) != math.Float64bits(want[j][i][q]) {
+								t.Errorf("p=%d %v job %d field %d point %d: fused %v != solo %v",
+									p, pr, j, i, q, call.Outs[i][q], want[j][i][q])
+								return nil
+							}
+						}
+					}
+				}
+
+				// Message accounting: the fused exchange ships every job's
+				// halos in one send pair per direction and every job's
+				// values in one Alltoallv, so it costs exactly the messages
+				// of a single solo one-field exchange — however many jobs
+				// and fields it carries. The solo runs pad per field, so
+				// they cost sum_j (nf_j*halo + alltoallv).
+				fusedMsgs := fusedAfter.Messages[mpi.PhaseInterpComm] - fusedBefore.Messages[mpi.PhaseInterpComm]
+				singleBefore := *c.Stats()
+				soloPlans[0].Interp(fieldSets[0][0])
+				singleAfter := *c.Stats()
+				singleMsgs := singleAfter.Messages[mpi.PhaseInterpComm] - singleBefore.Messages[mpi.PhaseInterpComm]
+				if fusedMsgs != singleMsgs {
+					t.Errorf("p=%d %v: fused exchange cost %d msgs, want the single-field solo cost %d",
+						p, pr, fusedMsgs, singleMsgs)
+				}
+				if p > 1 && soloMsgs <= fusedMsgs {
+					t.Errorf("p=%d %v: fused exchange (%d msgs) did not undercut %d solo exchanges (%d msgs)",
+						p, pr, fusedMsgs, nb, soloMsgs)
+				}
+				if d := fusedAfter.FusedInterpExchanges - fusedBefore.FusedInterpExchanges; d != 1 {
+					t.Errorf("p=%d %v: FusedInterpExchanges delta = %d, want 1", p, pr, d)
+				}
+				if d := fusedAfter.FusedInterpJobs - fusedBefore.FusedInterpJobs; d != int64(nb) {
+					t.Errorf("p=%d %v: FusedInterpJobs delta = %d, want %d", p, pr, d, nb)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d %v: %v", p, pr, err)
+			}
+		}
+	}
+}
+
+// TestGateFallbackRunsSolo asserts a plan whose gate declines still
+// produces correct results through the solo path, and that a gate that
+// fills Outs short-circuits the exchange.
+func TestGateFallbackRunsSolo(t *testing.T) {
+	g := grid.MustNew(8, 8, 8)
+	f := globalRandom(g.N, 3)
+	_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+		pe, err := grid.NewPencil(g, c)
+		if err != nil {
+			return err
+		}
+		l := localOf(pe, f)
+		pts := batchPoints(g, 30, 7)
+
+		want := append([]float64(nil), NewPlan(pe, pts).Interp(l)...)
+
+		// Declining gate: solo fallback.
+		declined := 0
+		pl := NewPlan(pe, pts)
+		pl.SetGate(func(call *BatchCall) bool { declined++; return false })
+		got := pl.Interp(l)
+		for q := range want {
+			if math.Float64bits(got[q]) != math.Float64bits(want[q]) {
+				t.Errorf("declined gate: point %d: %v != solo %v", q, got[q], want[q])
+				return nil
+			}
+		}
+		if declined != 1 {
+			t.Errorf("gate consulted %d times, want 1", declined)
+		}
+
+		// Accepting gate: the executor's outs come back verbatim.
+		pl2 := NewPlan(pe, pts)
+		bi := NewBatchInterp(pe)
+		pl2.SetGate(func(call *BatchCall) bool {
+			bi.Run([]*BatchCall{call})
+			return true
+		})
+		got2 := pl2.Interp(l)
+		for q := range want {
+			if math.Float64bits(got2[q]) != math.Float64bits(want[q]) {
+				t.Errorf("accepting gate: point %d: %v != solo %v", q, got2[q], want[q])
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterpManyZeroAllocs gates the plan-owned scratch: after warmup, a
+// reused plan's InterpMany performs zero heap allocations at one rank in
+// either precision (multi-rank runs still allocate inside the in-process
+// point-to-points, which model real MPI receive buffers anyway).
+func TestInterpManyZeroAllocs(t *testing.T) {
+	defer par.SetWorkers(par.SetWorkers(1))
+	g := grid.MustNew(12, 10, 8)
+	f1 := globalRandom(g.N, 4)
+	f2 := globalRandom(g.N, 5)
+	f3 := globalRandom(g.N, 6)
+	for _, pr := range []prec.Precision{prec.F64, prec.F32} {
+		_, err := mpi.Run(1, mpi.DefaultCostModel(), func(c *mpi.Comm) error {
+			pe, err := grid.NewPencil(g, c)
+			if err != nil {
+				return err
+			}
+			l1, l2, l3 := localOf(pe, f1), localOf(pe, f2), localOf(pe, f3)
+			pl := NewPlanPrec(pe, batchPoints(g, 200, 9), pr)
+			pl.InterpMany(l1, l2, l3) // warm the scratch
+			allocs := testing.AllocsPerRun(10, func() {
+				pl.InterpMany(l1, l2, l3)
+			})
+			if allocs != 0 {
+				t.Errorf("%v: InterpMany allocates %v times per run, want 0", pr, allocs)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", pr, err)
+		}
+	}
+}

@@ -24,40 +24,44 @@ import (
 // the stencil lines.
 const soaBlock = 64
 
-// interpMany32 is InterpMany on the narrow path.
+// interpMany32 is InterpMany on the narrow path. Like the reference path
+// it writes into plan-owned scratch: results are valid until the next
+// Interp/InterpMany call on this plan.
 func (pl *Plan) interpMany32(fields [][]float64) [][]float64 {
 	pe := pl.Pe
 	p := pe.Comm.Size()
 	nf := len(fields)
-	vals := make([][]float32, p)
-	for r := 0; r < p; r++ {
-		vals[r] = make([]float32, nf*len(pl.recvPts[r])/3)
-	}
+	vals := pl.vals32For(nf)
+	padded := pl.pad32For()
+	blk := pl.blk32For()
 	pd := pl.Ghost.PaddedDims()
 	for fi, f := range fields {
 		pe.Comm.CountInterp(int64(pl.NQ))
-		padded := pl.Ghost.Pad32(f)
+		pl.Ghost.PadInto32(padded, f, blk)
 		t0 := time.Now()
 		for r := 0; r < p; r++ {
 			pts := pl.recvPts[r]
 			npts := len(pts) / 3
-			out := vals[r][fi*npts : (fi+1)*npts]
-			orig := pl.origIdx[r]
-			par.Chunked(npts, interpGrain, func(lo, hi int) {
-				evalBlock32(padded, pd, pe, pts, lo, hi, out, orig)
-			})
+			pl.sweep = sweepState{
+				padded32: padded,
+				pts:      pts,
+				out32:    vals[r][fi*npts : (fi+1)*npts],
+				orig:     pl.origIdx[r],
+				pd:       pd,
+			}
+			par.ForChunks(npts, interpGrain, pl.sweep32Fn())
 			pl.Evals += int64(npts)
 		}
 		pe.Comm.AddExec(mpi.PhaseInterpExec, time.Since(t0).Seconds())
 	}
-	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
-	back := pe.Comm.AlltoallvFloat32(vals)
-	pe.Comm.SetPhase(old)
-
-	outs := make([][]float64, nf)
-	for fi := range outs {
-		outs[fi] = make([]float64, pl.NQ)
+	back := vals
+	if p > 1 {
+		old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+		back = pe.Comm.AlltoallvFloat32(vals)
+		pe.Comm.SetPhase(old)
 	}
+
+	outs := pl.outsFor(nf)
 	for r := 0; r < p; r++ {
 		idx := pl.sendIdx[r]
 		npts := len(idx)
@@ -145,106 +149,156 @@ func evalBlock32(f []float32, pd [3]int, pe *grid.Pencil, pts []float64, lo, hi 
 	}
 }
 
+// interior32Into copies the local field into the interior of the padded
+// float32 array dst, narrowing element-wise.
+func (g *Ghost) interior32Into(dst []float32, f []float64) {
+	pe := g.Pe
+	const G = GhostWidth
+	n1, n2, n3 := pe.Local(0), pe.Local(1), pe.Local(2)
+	pd := g.PaddedDims()
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			src := (i1*n2 + i2) * n3
+			dst0 := ((i1+G)*pd[1] + (i2 + G)) * pd[2]
+			row := f[src : src+n3]
+			for j, v := range row {
+				dst[dst0+j] = float32(v)
+			}
+		}
+	}
+}
+
+// rowBlock32Into packs GhostWidth rows of the unpadded float64 field
+// starting at i1lo into blk, narrowing element-wise.
+func (g *Ghost) rowBlock32Into(blk []float32, f []float64, i1lo int) {
+	pe := g.Pe
+	const G = GhostWidth
+	n2, n3 := pe.Local(1), pe.Local(2)
+	pos := 0
+	for i1 := i1lo; i1 < i1lo+G; i1++ {
+		src := i1 * n2 * n3
+		for _, v := range f[src : src+n2*n3] {
+			blk[pos] = float32(v)
+			pos++
+		}
+	}
+}
+
+// placeRows32 unpacks a phase-A payload into the padded float32 array.
+func (g *Ghost) placeRows32(dst []float32, pi1lo int, blk []float32) {
+	pe := g.Pe
+	const G = GhostWidth
+	n2, n3 := pe.Local(1), pe.Local(2)
+	pd := g.PaddedDims()
+	pos := 0
+	for i1 := 0; i1 < G; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			d := ((pi1lo+i1)*pd[1] + (i2 + G)) * pd[2]
+			copy(dst[d:d+n3], blk[pos:pos+n3])
+			pos += n3
+		}
+	}
+}
+
+// colBlock32Into packs GhostWidth padded columns starting at pi2lo into
+// blk, reading the padded float32 array.
+func (g *Ghost) colBlock32Into(blk, padded []float32, pi2lo int) {
+	pe := g.Pe
+	const G = GhostWidth
+	n3 := pe.Local(2)
+	pd := g.PaddedDims()
+	pos := 0
+	for pi1 := 0; pi1 < pd[0]; pi1++ {
+		for i2 := pi2lo; i2 < pi2lo+G; i2++ {
+			src := (pi1*pd[1] + i2) * pd[2]
+			copy(blk[pos:pos+n3], padded[src:src+n3])
+			pos += n3
+		}
+	}
+}
+
+// placeCols32 unpacks a phase-B payload into the padded float32 array.
+func (g *Ghost) placeCols32(dst []float32, pi2lo int, blk []float32) {
+	pe := g.Pe
+	const G = GhostWidth
+	n3 := pe.Local(2)
+	pd := g.PaddedDims()
+	pos := 0
+	for pi1 := 0; pi1 < pd[0]; pi1++ {
+		for i2 := 0; i2 < G; i2++ {
+			d := (pi1*pd[1] + pi2lo + i2) * pd[2]
+			copy(dst[d:d+n3], blk[pos:pos+n3])
+			pos += n3
+		}
+	}
+}
+
 // Pad32 is Ghost.Pad producing a float32 padded array: the field narrows
 // once on the interior copy, and the halo layers travel the same
 // neighbor-exchange pattern (same tags, same cost structure) as float32
 // payloads — half the halo bytes of the reference path.
 func (g *Ghost) Pad32(f []float64) []float32 {
+	out := make([]float32, g.PaddedLen())
+	g.PadInto32(out, f, make([]float32, g.MaxBlockLen()))
+	return out
+}
+
+// PadInto32 is PadInto on the narrow path: dst has PaddedLen elements and
+// blk at least MaxBlockLen.
+func (g *Ghost) PadInto32(dst []float32, f []float64, blk []float32) {
 	pe := g.Pe
 	const G = GhostWidth
-	n1, n2, n3 := pe.Local(0), pe.Local(1), pe.Local(2)
+	n1, n2 := pe.Local(0), pe.Local(1)
 	p1, p2 := pe.P[0], pe.P[1]
-	pd := g.PaddedDims()
-	out := make([]float32, pd[0]*pd[1]*pd[2])
 
-	// Interior copy, narrowing element-wise.
-	for i1 := 0; i1 < n1; i1++ {
-		for i2 := 0; i2 < n2; i2++ {
-			src := (i1*n2 + i2) * n3
-			dst := ((i1+G)*pd[1] + (i2 + G)) * pd[2]
-			row := f[src : src+n3]
-			for j, v := range row {
-				out[dst+j] = float32(v)
-			}
-		}
-	}
+	g.interior32Into(dst, f)
 
+	// Phases are per-communicator: set the split comms too so the halo
+	// point-to-points are charged to interpolation communication.
 	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
-	defer pe.Comm.SetPhase(old)
+	oldCol := pe.Col.SetPhase(mpi.PhaseInterpComm)
+	oldRow := pe.Row.SetPhase(mpi.PhaseInterpComm)
+	defer func() {
+		pe.Comm.SetPhase(old)
+		pe.Col.SetPhase(oldCol)
+		pe.Row.SetPhase(oldRow)
+	}()
 
 	// Phase A: rows along dimension 0 within the column communicator.
-	rowBlock := func(i1lo int) []float32 {
-		blk := make([]float32, G*n2*n3)
-		pos := 0
-		for i1 := i1lo; i1 < i1lo+G; i1++ {
-			src := i1 * n2 * n3
-			for _, v := range f[src : src+n2*n3] {
-				blk[pos] = float32(v)
-				pos++
-			}
-		}
-		return blk
-	}
-	placeRows := func(pi1lo int, blk []float32) {
-		pos := 0
-		for i1 := 0; i1 < G; i1++ {
-			for i2 := 0; i2 < n2; i2++ {
-				dst := ((pi1lo+i1)*pd[1] + (i2 + G)) * pd[2]
-				copy(out[dst:dst+n3], blk[pos:pos+n3])
-				pos += n3
-			}
-		}
-	}
+	rb, cb := g.blockLens()
 	if p1 == 1 {
-		placeRows(0, rowBlock(n1-G))
-		placeRows(n1+G, rowBlock(0))
+		g.rowBlock32Into(blk[:rb], f, n1-G)
+		g.placeRows32(dst, 0, blk[:rb])
+		g.rowBlock32Into(blk[:rb], f, 0)
+		g.placeRows32(dst, n1+G, blk[:rb])
 	} else {
 		col := pe.Col
 		up := (pe.Coord[0] + 1) % p1
 		down := (pe.Coord[0] - 1 + p1) % p1
-		const tagUp, tagDown = 101, 102
-		col.Send(up, tagUp, rowBlock(n1-G))
-		col.Send(down, tagDown, rowBlock(0))
-		placeRows(0, col.Recv(down, tagUp).([]float32))
-		placeRows(n1+G, col.Recv(up, tagDown).([]float32))
+		g.rowBlock32Into(blk[:rb], f, n1-G)
+		col.Send(up, tagRowUp, blk[:rb])
+		g.rowBlock32Into(blk[:rb], f, 0)
+		col.Send(down, tagRowDown, blk[:rb])
+		g.placeRows32(dst, 0, col.Recv(down, tagRowUp).([]float32))
+		g.placeRows32(dst, n1+G, col.Recv(up, tagRowDown).([]float32))
 	}
 
 	// Phase B: slabs along dimension 1 within the row communicator; slabs
 	// span the full padded dimension 0, so corner halos arrive for free.
-	colBlock := func(pi2lo int) []float32 {
-		blk := make([]float32, pd[0]*G*n3)
-		pos := 0
-		for pi1 := 0; pi1 < pd[0]; pi1++ {
-			for i2 := pi2lo; i2 < pi2lo+G; i2++ {
-				src := (pi1*pd[1] + i2) * pd[2]
-				copy(blk[pos:pos+n3], out[src:src+n3])
-				pos += n3
-			}
-		}
-		return blk
-	}
-	placeCols := func(pi2lo int, blk []float32) {
-		pos := 0
-		for pi1 := 0; pi1 < pd[0]; pi1++ {
-			for i2 := 0; i2 < G; i2++ {
-				dst := (pi1*pd[1] + pi2lo + i2) * pd[2]
-				copy(out[dst:dst+n3], blk[pos:pos+n3])
-				pos += n3
-			}
-		}
-	}
 	if p2 == 1 {
-		placeCols(0, colBlock(n2))
-		placeCols(n2+G, colBlock(G))
+		g.colBlock32Into(blk[:cb], dst, n2)
+		g.placeCols32(dst, 0, blk[:cb])
+		g.colBlock32Into(blk[:cb], dst, G)
+		g.placeCols32(dst, n2+G, blk[:cb])
 	} else {
 		row := pe.Row
 		right := (pe.Coord[1] + 1) % p2
 		left := (pe.Coord[1] - 1 + p2) % p2
-		const tagRight, tagLeft = 103, 104
-		row.Send(right, tagRight, colBlock(n2))
-		row.Send(left, tagLeft, colBlock(G))
-		placeCols(0, row.Recv(left, tagRight).([]float32))
-		placeCols(n2+G, row.Recv(right, tagLeft).([]float32))
+		g.colBlock32Into(blk[:cb], dst, n2)
+		row.Send(right, tagColRight, blk[:cb])
+		g.colBlock32Into(blk[:cb], dst, G)
+		row.Send(left, tagColLeft, blk[:cb])
+		g.placeCols32(dst, 0, row.Recv(left, tagColRight).([]float32))
+		g.placeCols32(dst, n2+G, row.Recv(right, tagColLeft).([]float32))
 	}
-	return out
 }

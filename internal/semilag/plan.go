@@ -68,6 +68,137 @@ type Plan struct {
 	// Evals counts local interpolant evaluations performed through this
 	// plan, for the performance model.
 	Evals int64
+
+	// gate, when set, offers each InterpMany to a cross-job batch
+	// scheduler before running the solo exchange (see batch.go).
+	gate Gate
+
+	// Plan-owned scratch for the hot interpolation path: grown lazily and
+	// reused across calls, so a warmed-up plan interpolates without heap
+	// allocation (receive buffers excepted — the MPI layer hands those
+	// back). The outs buffers back the slices InterpMany returns.
+	padScr    []float64
+	padScr32  []float32
+	blkScr    []float64
+	blkScr32  []float32
+	valsScr   [][]float64
+	valsScr32 [][]float32
+	outsScr   [][]float64
+	fieldsScr [][]float64
+
+	// sweep + the pre-bound pooled closures (pfft's stored-closure
+	// pattern): the chunked tricubic sweep reads its arguments from the
+	// plan so the hot loop submits zero escaping closures per call.
+	sweep     sweepState
+	sweepFn   func(c, lo, hi int)
+	sweepFn32 func(c, lo, hi int)
+}
+
+// sweepState carries the per-(field, source-rank) arguments of the pooled
+// tricubic sweep.
+type sweepState struct {
+	padded   []float64
+	padded32 []float32
+	pts      []float64
+	out      []float64
+	out32    []float32
+	orig     []int32
+	pd       [3]int
+}
+
+// sweep64Fn returns the pre-bound float64 chunk worker.
+func (pl *Plan) sweep64Fn() func(c, lo, hi int) {
+	if pl.sweepFn == nil {
+		pl.sweepFn = func(_, lo, hi int) {
+			s := &pl.sweep
+			for k := lo; k < hi; k++ {
+				s.out[s.orig[k]] = evalPadded(s.padded, s.pd, pl.Pe, s.pts[3*k], s.pts[3*k+1], s.pts[3*k+2])
+			}
+		}
+	}
+	return pl.sweepFn
+}
+
+// sweep32Fn returns the pre-bound float32 chunk worker.
+func (pl *Plan) sweep32Fn() func(c, lo, hi int) {
+	if pl.sweepFn32 == nil {
+		pl.sweepFn32 = func(_, lo, hi int) {
+			s := &pl.sweep
+			evalBlock32(s.padded32, s.pd, pl.Pe, s.pts, lo, hi, s.out32, s.orig)
+		}
+	}
+	return pl.sweepFn32
+}
+
+// padFor returns the plan's padded-field scratch.
+func (pl *Plan) padFor() []float64 {
+	if n := pl.Ghost.PaddedLen(); len(pl.padScr) < n {
+		pl.padScr = make([]float64, n)
+	}
+	return pl.padScr
+}
+
+// pad32For returns the plan's float32 padded-field scratch.
+func (pl *Plan) pad32For() []float32 {
+	if n := pl.Ghost.PaddedLen(); len(pl.padScr32) < n {
+		pl.padScr32 = make([]float32, n)
+	}
+	return pl.padScr32
+}
+
+// blkFor returns the plan's halo staging scratch.
+func (pl *Plan) blkFor() []float64 {
+	if n := pl.Ghost.MaxBlockLen(); len(pl.blkScr) < n {
+		pl.blkScr = make([]float64, n)
+	}
+	return pl.blkScr
+}
+
+// blk32For returns the plan's float32 halo staging scratch.
+func (pl *Plan) blk32For() []float32 {
+	if n := pl.Ghost.MaxBlockLen(); len(pl.blkScr32) < n {
+		pl.blkScr32 = make([]float32, n)
+	}
+	return pl.blkScr32
+}
+
+// valsFor returns the per-destination-rank value buffers sized for nf
+// fields.
+func (pl *Plan) valsFor(nf int) [][]float64 {
+	if pl.valsScr == nil {
+		pl.valsScr = make([][]float64, len(pl.recvPts))
+	}
+	for r := range pl.valsScr {
+		need := nf * (len(pl.recvPts[r]) / 3)
+		if cap(pl.valsScr[r]) < need {
+			pl.valsScr[r] = make([]float64, need)
+		}
+		pl.valsScr[r] = pl.valsScr[r][:need]
+	}
+	return pl.valsScr
+}
+
+// vals32For is valsFor on the narrow path.
+func (pl *Plan) vals32For(nf int) [][]float32 {
+	if pl.valsScr32 == nil {
+		pl.valsScr32 = make([][]float32, len(pl.recvPts))
+	}
+	for r := range pl.valsScr32 {
+		need := nf * (len(pl.recvPts[r]) / 3)
+		if cap(pl.valsScr32[r]) < need {
+			pl.valsScr32[r] = make([]float32, need)
+		}
+		pl.valsScr32[r] = pl.valsScr32[r][:need]
+	}
+	return pl.valsScr32
+}
+
+// outsFor returns nf plan-owned output buffers of NQ elements each.
+func (pl *Plan) outsFor(nf int) [][]float64 {
+	for len(pl.outsScr) < nf {
+		pl.outsScr = append(pl.outsScr, make([]float64, pl.NQ))
+	}
+	return pl.outsScr[:nf]
 }
 
 // NewPlan builds a plan for the given query points, expressed in global
@@ -177,49 +308,72 @@ func wrapCoord(x float64, n int) float64 {
 // the pencil's dimensions) at the plan's query points. The returned slices
 // are ordered like the original query points. All fields share one value
 // return exchange; each field needs its own halo update.
+//
+// The returned slices are plan-owned scratch, valid until the next
+// Interp/InterpMany call on this plan: callers that keep results across
+// calls must copy them. With a gate installed (SetGate) the call is first
+// offered to the cross-job batch scheduler; a declined offer falls back to
+// the solo exchange below, bit-identically.
 func (pl *Plan) InterpMany(fields ...[]float64) [][]float64 {
+	if pl.gate != nil {
+		// Stage the fields in plan scratch so the variadic argument slice
+		// does not leak into the call struct — keeping ungated call sites
+		// allocation-free.
+		pl.fieldsScr = append(pl.fieldsScr[:0], fields...)
+		call := BatchCall{Plan: pl, Fields: pl.fieldsScr}
+		if pl.gate(&call) {
+			return call.Outs
+		}
+	}
 	if pl.precision == prec.F32 {
 		return pl.interpMany32(fields)
 	}
+	return pl.interpMany64(fields)
+}
+
+// interpMany64 is the solo reference-precision exchange.
+func (pl *Plan) interpMany64(fields [][]float64) [][]float64 {
 	pe := pl.Pe
 	p := pe.Comm.Size()
 	nf := len(fields)
 	// Evaluate every requested point against each padded field.
-	vals := make([][]float64, p)
-	for r := 0; r < p; r++ {
-		vals[r] = make([]float64, nf*len(pl.recvPts[r])/3)
-	}
+	vals := pl.valsFor(nf)
+	padded := pl.padFor()
+	blk := pl.blkFor()
+	pd := pl.Ghost.PaddedDims()
 	for fi, f := range fields {
 		pe.Comm.CountInterp(int64(pl.NQ))
-		padded := pl.Ghost.Pad(f)
+		pl.Ghost.PadInto(padded, f, blk)
 		t0 := time.Now()
-		pd := pl.Ghost.PaddedDims()
 		for r := 0; r < p; r++ {
 			pts := pl.recvPts[r]
 			npts := len(pts) / 3
-			out := vals[r][fi*npts : (fi+1)*npts]
-			orig := pl.origIdx[r]
 			// The sorted batches stream through the padded field; chunks of
 			// the sorted order are independent (orig is a permutation, so the
 			// scattered writes are disjoint) and run on the worker pool.
-			par.Chunked(npts, interpGrain, func(lo, hi int) {
-				for k := lo; k < hi; k++ {
-					out[orig[k]] = evalPadded(padded, pd, pe, pts[3*k], pts[3*k+1], pts[3*k+2])
-				}
-			})
+			pl.sweep = sweepState{
+				padded: padded,
+				pts:    pts,
+				out:    vals[r][fi*npts : (fi+1)*npts],
+				orig:   pl.origIdx[r],
+				pd:     pd,
+			}
+			par.ForChunks(npts, interpGrain, pl.sweep64Fn())
 			pl.Evals += int64(npts)
 		}
 		pe.Comm.AddExec(mpi.PhaseInterpExec, time.Since(t0).Seconds())
 	}
-	// Return the values to the ranks that asked for them.
-	old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
-	back := pe.Comm.AlltoallvFloat64(vals)
-	pe.Comm.SetPhase(old)
-
-	outs := make([][]float64, nf)
-	for fi := range outs {
-		outs[fi] = make([]float64, pl.NQ)
+	// Return the values to the ranks that asked for them. A size-1
+	// communicator owns every value already, so the (allocating) self-copy
+	// collective is skipped.
+	back := vals
+	if p > 1 {
+		old := pe.Comm.SetPhase(mpi.PhaseInterpComm)
+		back = pe.Comm.AlltoallvFloat64(vals)
+		pe.Comm.SetPhase(old)
 	}
+
+	outs := pl.outsFor(nf)
 	for r := 0; r < p; r++ {
 		idx := pl.sendIdx[r]
 		npts := len(idx)
@@ -234,6 +388,8 @@ func (pl *Plan) InterpMany(fields ...[]float64) [][]float64 {
 }
 
 // Interp interpolates a single scalar field at the plan's query points.
+// Like InterpMany, the returned slice is plan-owned scratch, valid until
+// the next Interp/InterpMany call on this plan.
 func (pl *Plan) Interp(f []float64) []float64 { return pl.InterpMany(f)[0] }
 
 // evalPadded evaluates the tricubic interpolant on the halo-padded local
@@ -285,6 +441,13 @@ func Departure(pe *grid.Pencil, v *field.Vector, dt float64) [3][]float64 {
 // interpolation at the given precision. The coordinate arithmetic itself
 // stays float64 at either precision.
 func DeparturePrec(pe *grid.Pencil, v *field.Vector, dt float64, pr prec.Precision) [3][]float64 {
+	return DeparturePrecGate(pe, v, dt, pr, nil)
+}
+
+// DeparturePrecGate is DeparturePrec with a batch gate installed on the
+// intermediate star-point plan, so the RK2 velocity interpolation can join
+// a cross-job fused exchange.
+func DeparturePrecGate(pe *grid.Pencil, v *field.Vector, dt float64, pr prec.Precision, gate Gate) [3][]float64 {
 	n := pe.LocalTotal()
 	h := [3]float64{pe.Grid.Spacing(0), pe.Grid.Spacing(1), pe.Grid.Spacing(2)}
 	var star [3][]float64
@@ -297,6 +460,7 @@ func DeparturePrec(pe *grid.Pencil, v *field.Vector, dt float64, pr prec.Precisi
 		star[2][idx] = float64(pe.Lo[2]+i3) - dt*v.C[2].Data[idx]/h[2]
 	})
 	planStar := NewPlanPrec(pe, star, pr)
+	planStar.SetGate(gate)
 	vStar := planStar.InterpMany(v.C[0].Data, v.C[1].Data, v.C[2].Data)
 	var dep [3][]float64
 	for d := 0; d < 3; d++ {

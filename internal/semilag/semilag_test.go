@@ -122,8 +122,14 @@ func TestInterpManyMatchesRepeatedInterp(t *testing.T) {
 		}
 		plan := NewPlan(pe, pts)
 		l1, l2 := localOf(pe, f1), localOf(pe, f2)
-		both := plan.InterpMany(l1, l2)
-		one1 := plan.Interp(l1)
+		// Outs are plan-owned scratch, valid only until the next interp on
+		// the same plan — copy before issuing the solo calls.
+		res := plan.InterpMany(l1, l2)
+		both := [][]float64{
+			append([]float64(nil), res[0]...),
+			append([]float64(nil), res[1]...),
+		}
+		one1 := append([]float64(nil), plan.Interp(l1)...)
 		one2 := plan.Interp(l2)
 		for q := 0; q < nq; q++ {
 			if both[0][q] != one1[q] || both[1][q] != one2[q] {
@@ -326,7 +332,11 @@ func TestPlanReuseCountersAndValues(t *testing.T) {
 		for i, f := range fields {
 			locals[i] = localOf(pe, f)
 		}
-		batched := plan.InterpMany(locals...)
+		// InterpMany returns plan-owned scratch; copy before reusing the plan.
+		batched := make([][]float64, len(fields))
+		for i, o := range plan.InterpMany(locals...) {
+			batched[i] = append([]float64(nil), o...)
+		}
 		if plan.Evals != int64(len(fields))*perField {
 			t.Errorf("after InterpMany of %d fields: Evals=%d, want %d",
 				len(fields), plan.Evals, int64(len(fields))*perField)
@@ -337,7 +347,7 @@ func TestPlanReuseCountersAndValues(t *testing.T) {
 
 		sequential := make([][]float64, len(fields))
 		for i := range locals {
-			sequential[i] = plan.Interp(locals[i])
+			sequential[i] = append([]float64(nil), plan.Interp(locals[i])...)
 		}
 		if plan.Evals != 2*int64(len(fields))*perField {
 			t.Errorf("after sequential reuse: Evals=%d, want %d",

@@ -81,6 +81,7 @@ func (s *Server) dispatch(batches chan<- []*Job) {
 			continue
 		}
 		group := []*Job{job}
+		var overflow []*Job
 		timer := time.NewTimer(window)
 	collect:
 		for len(group) < s.cfg.MaxBatch {
@@ -92,8 +93,17 @@ func (s *Server) dispatch(batches chan<- []*Job) {
 				if k, f := fusionKey(&next.Spec); f && k == key {
 					group = append(group, next)
 				} else {
-					// A different shape never waits behind the open group.
-					batches <- []*Job{next}
+					// A different shape never waits behind the open group —
+					// but the open group never waits behind a plugged worker
+					// channel either: the window deadline stays
+					// authoritative, and on expiry the solo job ships right
+					// after the group instead of blocking it.
+					select {
+					case batches <- []*Job{next}:
+					case <-timer.C:
+						overflow = append(overflow, next)
+						break collect
+					}
 				}
 			case <-timer.C:
 				break collect
@@ -101,6 +111,9 @@ func (s *Server) dispatch(batches chan<- []*Job) {
 		}
 		timer.Stop()
 		batches <- group
+		for _, solo := range overflow {
+			batches <- []*Job{solo}
+		}
 	}
 }
 
@@ -128,17 +141,13 @@ func (s *Server) runBatch(group []*Job) {
 		s.runClaimed(jobs[0])
 		return
 	}
-	s.running.Add(int64(len(jobs)))
-	defer s.running.Add(-int64(len(jobs)))
-	if s.cfg.beforeRun != nil {
-		for _, job := range jobs {
-			s.cfg.beforeRun(job)
-		}
-	}
 
+	// Materialize every member's inputs BEFORE committing to a fused pass:
+	// a member whose volumes fail drops out here, and a group that shrinks
+	// below fusion width runs solo — it must be neither counted as fused
+	// nor leased a batch-width plan arena.
 	fused := make([]diffreg.FusedJob, 0, len(jobs))
 	live := make([]*Job, 0, len(jobs))
-	var rec *sourceRecorder
 	for _, job := range jobs {
 		template, reference, err := s.volumes(&job.Spec)
 		if err != nil {
@@ -149,6 +158,27 @@ func (s *Server) runBatch(group []*Job) {
 		cfg := job.Spec.config()
 		cfg.StopRequested = job.stop.Load
 		cfg.OnProgress = job.progress
+		fused = append(fused, diffreg.FusedJob{Template: template, Reference: reference, Config: cfg})
+		live = append(live, job)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if len(live) == 1 {
+		// The generator memo makes the survivor's reload cheap; the solo
+		// path re-arms its own timeout and plan lease.
+		s.runClaimed(live[0])
+		return
+	}
+
+	s.running.Add(int64(len(live)))
+	defer s.running.Add(-int64(len(live)))
+	if s.cfg.beforeRun != nil {
+		for _, job := range live {
+			s.cfg.beforeRun(job)
+		}
+	}
+	for _, job := range live {
 		if timeout := job.Spec.effectiveTimeout(s.cfg.DefaultTimeout); timeout > 0 {
 			job := job
 			timer := time.AfterFunc(timeout, func() {
@@ -157,12 +187,8 @@ func (s *Server) runBatch(group []*Job) {
 			})
 			defer timer.Stop()
 		}
-		fused = append(fused, diffreg.FusedJob{Template: template, Reference: reference, Config: cfg})
-		live = append(live, job)
 	}
-	if len(live) == 0 {
-		return
-	}
+	var rec *sourceRecorder
 	if s.cache != nil && !live[0].Spec.NoCache {
 		// One batch-wide lease (keyed by width B+1); RegisterFused reads
 		// the plan source from the first job's config.

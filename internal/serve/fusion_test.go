@@ -218,6 +218,102 @@ func TestRegisterFusedWarmCacheBitIdentical(t *testing.T) {
 	}
 }
 
+// TestFusedGroupShrinksToSoloOnVolumeFailure: when all but one member of
+// a claimed fused group fails to materialize its volumes, the survivor
+// must run on the solo path — not as a width-1 "fused" pass that inflates
+// the fusion counters and checks out a batch-width plan arena.
+func TestFusedGroupShrinksToSoloOnVolumeFailure(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxBatch: 4, BatchWindow: 50 * time.Millisecond})
+	defer srv.Close()
+
+	good := newJob("good", JobSpec{
+		Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 1,
+		TimeSteps: 2, MaxNewtonIters: 1, GradTol: 1e-12,
+	})
+	// Same fusion shape (n, tasks, precision, cache), but its inline
+	// volumes fail to materialize.
+	bad := newJob("bad", JobSpec{
+		N: [3]int{16, 16, 16}, Tasks: 1,
+		TimeSteps: 2, MaxNewtonIters: 1, GradTol: 1e-12,
+	})
+	if ka, fa := fusionKey(&good.Spec); !fa {
+		t.Fatalf("good job unfusable: %+v", ka)
+	} else if kb, fb := fusionKey(&bad.Spec); !fb || ka != kb {
+		t.Fatalf("jobs do not share a fusion shape: %+v vs %+v", ka, kb)
+	}
+
+	srv.runBatch([]*Job{good, bad})
+
+	if st := bad.Status(); st.State != JobFailed {
+		t.Errorf("bad job: %s, want failed (volume materialization)", st.State)
+	}
+	if st := good.Status(); st.State != JobDone {
+		t.Errorf("surviving job: %s (%s), want done", st.State, st.Error)
+	}
+	st := srv.Stats()
+	if st.Fusion.Batches != 0 || st.Fusion.FusedJobs != 0 {
+		t.Errorf("width-1 survivor was counted as fused: batches=%d fused_jobs=%d, want 0 and 0",
+			st.Fusion.Batches, st.Fusion.FusedJobs)
+	}
+	if st.Fusion.MeanFill != 0 {
+		t.Errorf("mean_fill = %v, want 0 (no fused batch ran)", st.Fusion.MeanFill)
+	}
+	if st.Failed != 1 || st.Done != 1 {
+		t.Errorf("failed=%d done=%d, want 1 and 1", st.Failed, st.Done)
+	}
+}
+
+// TestDispatchDeadlineAuthoritative: a mismatched-shape job arriving
+// inside an open admission window must not block the group past its
+// deadline when the worker channel is plugged — on expiry the group ships
+// first, then the solo job.
+func TestDispatchDeadlineAuthoritative(t *testing.T) {
+	srv := &Server{
+		cfg:   Config{MaxBatch: 4, BatchWindow: 100 * time.Millisecond},
+		queue: make(chan *Job),
+	}
+	batches := make(chan []*Job) // no consumer during the window: plugged
+	go srv.dispatch(batches)
+
+	a := newJob("a", JobSpec{Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 2})
+	b := newJob("b", JobSpec{Generator: "synthetic", N: [3]int{16, 16, 16}, Tasks: 1})
+	srv.queue <- a // opens a window for shape tasks=2
+	srv.queue <- b // mismatched shape: solo handoff blocks on the plugged channel
+	close(srv.queue)
+
+	// Let the window expire while nothing consumes the worker channel.
+	time.Sleep(300 * time.Millisecond)
+
+	recv := func(label string) []*Job {
+		select {
+		case g := <-batches:
+			return g
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: dispatcher hung past the window deadline", label)
+			return nil
+		}
+	}
+	first := recv("first")
+	if len(first) != 1 || first[0] != a {
+		t.Fatalf("first dispatch after the deadline = %v, want the open group [a]", jobIDs(first))
+	}
+	second := recv("second")
+	if len(second) != 1 || second[0] != b {
+		t.Fatalf("second dispatch = %v, want the displaced solo job [b]", jobIDs(second))
+	}
+	if _, ok := <-batches; ok {
+		t.Fatal("dispatcher emitted a third batch")
+	}
+}
+
+func jobIDs(g []*Job) []string {
+	ids := make([]string, len(g))
+	for i, j := range g {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
 // TestFusionStatsJSONShape pins the /stats fusion block wire format.
 func TestFusionStatsJSONShape(t *testing.T) {
 	b, err := json.Marshal(FusionStats{Enabled: true, MaxBatch: 4, Batches: 2,

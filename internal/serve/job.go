@@ -115,6 +115,14 @@ func (s *JobSpec) volumes() (template, reference diffreg.Volume, err error) {
 	case "brain":
 		return diffreg.BrainPhantomPair(s.N[0], s.N[1], s.N[2], s.SeedA, s.SeedB)
 	default:
+		// Validate enforces this for submitted specs; re-checking here keeps
+		// internal callers (the fused dispatcher claims groups before
+		// loading inputs) from solving on truncated volumes.
+		if total := s.N[0] * s.N[1] * s.N[2]; len(s.Template) != total || len(s.Reference) != total {
+			return diffreg.Volume{}, diffreg.Volume{},
+				fmt.Errorf("inline volumes must both have %d samples (got %d and %d)",
+					total, len(s.Template), len(s.Reference))
+		}
 		t := diffreg.Volume{N: s.N, Data: s.Template}
 		r := diffreg.Volume{N: s.N, Data: s.Reference}
 		return t, r, nil

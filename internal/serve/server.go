@@ -62,14 +62,14 @@ func (e *SpecError) Unwrap() error { return e.Err }
 
 // ServerStats is the GET /stats body.
 type ServerStats struct {
-	Workers      int        `json:"workers"`
-	QueueDepth   int        `json:"queue_depth"`
-	Queued       int        `json:"queued"`
-	Running      int64      `json:"running"`
-	Done         int64      `json:"done"`
-	Failed       int64      `json:"failed"`
-	Canceled     int64      `json:"canceled"`
-	Rejected     int64      `json:"rejected"`
+	Workers      int         `json:"workers"`
+	QueueDepth   int         `json:"queue_depth"`
+	Queued       int         `json:"queued"`
+	Running      int64       `json:"running"`
+	Done         int64       `json:"done"`
+	Failed       int64       `json:"failed"`
+	Canceled     int64       `json:"canceled"`
+	Rejected     int64       `json:"rejected"`
 	Cache        CacheStats  `json:"cache"`
 	CacheEnabled bool        `json:"cache_enabled"`
 	Fusion       FusionStats `json:"fusion"`

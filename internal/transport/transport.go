@@ -25,12 +25,21 @@ type Solver struct {
 
 	stepBuf []float64 // per-component displacement step scratch
 	zeroBuf []float64 // kept-zero source placeholder; never written
+
+	// gate, when set, is installed on every interpolation plan this
+	// solver builds, so a batch scheduler can fuse the gather exchanges
+	// across jobs (see semilag.Gate). Nil on solo solvers.
+	gate semilag.Gate
 }
 
 // NewSolver returns a transport solver with nt time steps.
 func NewSolver(ops *spectral.Ops, nt int) *Solver {
 	return &Solver{Ops: ops, Pe: ops.Pe, Nt: nt}
 }
+
+// SetGate installs (or clears, with nil) the cross-job interpolation
+// batch gate threaded onto every plan the solver builds.
+func (s *Solver) SetGate(g semilag.Gate) { s.gate = g }
 
 // Dt returns the time step size.
 func (s *Solver) Dt() float64 { return 1 / float64(s.Nt) }
@@ -90,15 +99,21 @@ func (s *Solver) NewContext(v *field.Vector, solenoidal bool) *Context {
 	dt := s.Dt()
 	pr := s.Ops.Precision()
 	ctx := &Context{V: v, Solenoidal: solenoidal}
-	ctx.Fwd = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrec(s.Pe, v, dt, pr), pr)
+	ctx.Fwd = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrecGate(s.Pe, v, dt, pr, s.gate), pr)
+	ctx.Fwd.SetGate(s.gate)
 	neg := v.Clone()
 	neg.Scale(-1)
-	ctx.Adj = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrec(s.Pe, neg, dt, pr), pr)
+	ctx.Adj = semilag.NewPlanPrec(s.Pe, semilag.DeparturePrecGate(s.Pe, neg, dt, pr, s.gate), pr)
+	ctx.Adj.SetGate(s.gate)
+	// The interpolation results below live as long as the context, so they
+	// are copied out of the plans' scratch.
 	vx := ctx.Fwd.InterpMany(v.C[0].Data, v.C[1].Data, v.C[2].Data)
-	ctx.VFwdX = [3][]float64{vx[0], vx[1], vx[2]}
+	for d := 0; d < 3; d++ {
+		ctx.VFwdX[d] = append([]float64(nil), vx[d]...)
+	}
 	if !solenoidal {
 		ctx.DivV = s.Ops.Div(v)
-		ctx.DivVAdjX = ctx.Adj.Interp(ctx.DivV.Data)
+		ctx.DivVAdjX = append([]float64(nil), ctx.Adj.Interp(ctx.DivV.Data)...)
 	}
 	return ctx
 }
@@ -108,13 +123,12 @@ func (s *Solver) NewContext(v *field.Vector, solenoidal bool) *Context {
 // arrays. The state equation is pure advection, so each step is a single
 // interpolation at the cached departure points.
 func (s *Solver) State(ctx *Context, rho0 *field.Scalar) [][]float64 {
-	out := make([][]float64, s.Nt+1)
-	cur := make([]float64, len(rho0.Data))
-	copy(cur, rho0.Data)
-	out[0] = cur
+	out := s.trajectory()
+	copy(out[0], rho0.Data)
 	for j := 0; j < s.Nt; j++ {
-		cur = ctx.Fwd.Interp(cur)
-		out[j+1] = cur
+		// Interp returns plan scratch, overwritten by the next step's
+		// call; each slice of the trajectory keeps its own copy.
+		copy(out[j+1], ctx.Fwd.Interp(out[j]))
 	}
 	return out
 }
@@ -128,7 +142,9 @@ func (s *Solver) StateFinal(ctx *Context, rho0 *field.Scalar) []float64 {
 	cur := make([]float64, len(rho0.Data))
 	copy(cur, rho0.Data)
 	for j := 0; j < s.Nt; j++ {
-		cur = ctx.Fwd.Interp(cur)
+		// In-place through the plan scratch is safe: the field is fully
+		// copied into the padded array before any output is written.
+		copy(cur, ctx.Fwd.Interp(cur))
 	}
 	return cur
 }
@@ -158,7 +174,9 @@ func (s *Solver) Adjoint(ctx *Context, lamT *field.Scalar) [][]float64 {
 // frame times).
 func (s *Solver) AdjointStep(ctx *Context, cur []float64) []float64 {
 	if ctx.Solenoidal {
-		return ctx.Adj.Interp(cur)
+		// Callers retain the step result while stepping further on the
+		// same plan, so the scratch is copied into a fresh slice.
+		return append([]float64(nil), ctx.Adj.Interp(cur)...)
 	}
 	return s.stepLinearSource(ctx.Adj, cur, ctx.DivV.Data, ctx.DivVAdjX)
 }
@@ -348,6 +366,7 @@ func (s *Solver) ApplyMap(img *field.Scalar, u *field.Vector) *field.Scalar {
 		pts[2][idx] = float64(pe.Lo[2]+i3) + u.C[2].Data[idx]/h[2]
 	})
 	plan := semilag.NewPlanPrec(pe, pts, s.Ops.Precision())
+	plan.SetGate(s.gate)
 	out := field.NewScalar(pe)
 	copy(out.Data, plan.Interp(img.Data))
 	return out
@@ -410,8 +429,14 @@ func (s *Solver) InverseDisplacement(ctx *Context) *field.Vector {
 	dt := s.Dt()
 	n := s.Pe.LocalTotal()
 	// The backward characteristics are the adjoint plan's departure
-	// points; v at those points is needed for the source.
-	vAdjX := ctx.Adj.InterpMany(ctx.V.C[0].Data, ctx.V.C[1].Data, ctx.V.C[2].Data)
+	// points; v at those points is needed for the source. The values are
+	// retained across the step loop's interpolations, so they leave the
+	// plan scratch.
+	vX := ctx.Adj.InterpMany(ctx.V.C[0].Data, ctx.V.C[1].Data, ctx.V.C[2].Data)
+	var vAdjX [3][]float64
+	for d := 0; d < 3; d++ {
+		vAdjX[d] = append([]float64(nil), vX[d]...)
+	}
 	u := field.NewVector(s.Pe)
 	uNew := s.stepScratch()
 	for step := 0; step < s.Nt; step++ {
