@@ -10,6 +10,14 @@
 // long a job waits for companions. -pprof ADDR serves net/http/pprof on a
 // separate listener.
 //
+// Durability (see README, "Durability and retries"): -journal DIR enables
+// the write-ahead job journal — kill the process, restart it with the
+// same -journal, and every accepted-but-unfinished job re-runs. -retries
+// N grants each job N total attempts; transient communication failures
+// are retried with exponential backoff (-retry-backoff), resuming from a
+// spooled checkpoint when the solve flavor supports it. -retain caps the
+// terminal jobs kept queryable.
+//
 // Submit a job and watch it:
 //
 //	curl -s localhost:8080/jobs -d '{"generator":"synthetic","n":[32,32,32],"tasks":4}'
@@ -46,6 +54,11 @@ func main() {
 	maxBatch := flag.Int("max-batch", 1, "fuse up to this many same-shape jobs into one solver pass (<= 1 disables fusion)")
 	batchWindow := flag.Duration("batch-window", 25*time.Millisecond, "how long a fusable job waits for same-shape companions")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	journal := flag.String("journal", "", "write-ahead job journal directory (empty disables; restart with the same directory to recover)")
+	spool := flag.String("spool", "", "checkpoint spool directory for retryable jobs (default JOURNAL/spool when -journal and -retries are on)")
+	retries := flag.Int("retries", 1, "total attempts per job; > 1 retries transient comm failures with backoff")
+	retryBackoff := flag.Duration("retry-backoff", 250*time.Millisecond, "backoff before the second attempt (doubles per attempt, capped at 30s)")
+	retain := flag.Int("retain", 0, "terminal jobs kept queryable (0 = default 1024, negative = unlimited)")
 	quiet := flag.Bool("q", false, "suppress per-job log lines")
 	flag.Parse()
 
@@ -56,15 +69,23 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.Open(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
+		JournalDir:     *journal,
+		SpoolDir:       *spool,
+		Retry:          serve.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+		Retain:         *retain,
 		Logf:           logf,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regserve: %v\n", err)
+		os.Exit(1)
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	if *pprofAddr != "" {
@@ -84,13 +105,18 @@ func main() {
 	go func() {
 		s := <-sig
 		log.Printf("regserve: %v: draining (in-flight jobs stop at the next iteration boundary)", s)
+		// Close the job server FIRST: it finishes every job and wakes idle
+		// event-stream watchers, so the HTTP drain below completes as soon
+		// as in-flight solves reach an iteration boundary instead of
+		// idling out the full deadline on open streams.
+		srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
 	}()
 
 	log.Printf("regserve: listening on %s (%d workers, queue %d, pool %d)", *addr, *workers, *queue, par.Workers())
-	err := hs.ListenAndServe()
+	err = hs.ListenAndServe()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "regserve: %v\n", err)
 		os.Exit(1)

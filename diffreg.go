@@ -227,6 +227,17 @@ type PlanSource interface {
 	Acquire(n [3]int, tasks int, precision string, slots int) PlanLease
 }
 
+// Checkpointable reports whether this configuration supports
+// checkpoint/restart: the checkpoint format captures a single stationary
+// velocity iterate, so grid continuation (MultilevelLevels > 1) and
+// non-stationary velocities (VelocityIntervals > 1) are incompatible —
+// Register rejects CheckpointPath/Resume for them. Supervisors that
+// checkpoint jobs defensively (the regserve retry spool) use this to know
+// which jobs must recover from scratch instead.
+func (c Config) Checkpointable() bool {
+	return c.MultilevelLevels <= 1 && c.VelocityIntervals <= 1
+}
+
 func (c Config) withDefaults() Config {
 	if c.Tasks == 0 {
 		c.Tasks = 1
@@ -382,9 +393,12 @@ func Register(template, reference Volume, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("diffreg: %w", err)
 		}
 	}
-	// Reject the invalid combination before any checkpoint I/O happens.
+	// Reject the invalid combinations before any checkpoint I/O happens.
 	if (cfg.CheckpointPath != "" || cfg.Resume) && cfg.MultilevelLevels > 1 {
 		return nil, fmt.Errorf("diffreg: checkpoint/restart is incompatible with grid continuation (MultilevelLevels > 1)")
+	}
+	if (cfg.CheckpointPath != "" || cfg.Resume) && cfg.VelocityIntervals > 1 {
+		return nil, fmt.Errorf("diffreg: checkpoint/restart is incompatible with non-stationary velocities (VelocityIntervals > 1)")
 	}
 	var resume *ckpt.State
 	if cfg.Resume {

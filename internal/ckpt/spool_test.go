@@ -1,0 +1,91 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diffreg/internal/optim"
+)
+
+func spoolState() *State {
+	st := &State{N: [3]int{4, 4, 4}, Tasks: 1, Precision: "float64",
+		Beta: 1e-2, Iter: 3, JInit: 1, MisfitInit: 0.5, GnormInit: 0.25,
+		History: []optim.IterRecord{{Iter: 1, J: 0.9}}}
+	for d := 0; d < 3; d++ {
+		st.V[d] = make([]float64, 64)
+		for i := range st.V[d] {
+			st.V[d][i] = float64(d*64 + i)
+		}
+	}
+	return st
+}
+
+// TestSpoolHelpers drives the spool lifecycle: no checkpoint before the
+// first save, a valid probe after it, and an idempotent reap.
+func TestSpoolHelpers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spool")
+	if err := EnsureSpoolDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureSpoolDir(dir); err != nil {
+		t.Fatalf("EnsureSpoolDir must be idempotent: %v", err)
+	}
+	path := SpoolPath(dir, "job-000007")
+	if HasCheckpoint(path) {
+		t.Fatal("HasCheckpoint true before any save")
+	}
+	if err := Save(path, spoolState()); err != nil {
+		t.Fatal(err)
+	}
+	if !HasCheckpoint(path) {
+		t.Fatal("HasCheckpoint false after a valid save")
+	}
+	if st, err := Load(path); err != nil || st.Iter != 3 {
+		t.Fatalf("spooled checkpoint does not load: %v", err)
+	}
+	if err := Reap(path); err != nil {
+		t.Fatal(err)
+	}
+	if HasCheckpoint(path) {
+		t.Fatal("HasCheckpoint true after reap")
+	}
+	if err := Reap(path); err != nil {
+		t.Fatalf("Reap must tolerate an already-gone spool file: %v", err)
+	}
+}
+
+// TestHasCheckpointRejectsGarbage: the probe must reject files that are
+// not checkpoints without relying on Load.
+func TestHasCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string][]byte{
+		"empty.ckpt": {},
+		"short.ckpt": []byte("DREGCKPT"),
+		"wrong.ckpt": []byte("NOTACKPTxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"),
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if HasCheckpoint(p) {
+			t.Errorf("%s accepted as a checkpoint", name)
+		}
+	}
+	// A version bump must fail the probe even with valid magic.
+	p := filepath.Join(dir, "ver.ckpt")
+	if err := Save(p, spoolState()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len("DREGCKPT")] = 99
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if HasCheckpoint(p) {
+		t.Error("future-version file accepted as resumable")
+	}
+}

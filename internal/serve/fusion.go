@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"diffreg"
+	"diffreg/internal/ckpt"
 	"diffreg/internal/mpi"
 	"diffreg/internal/prec"
 )
@@ -36,6 +37,10 @@ type FusionStats struct {
 	// EarlyDropouts counts jobs that left a fused batch while neighbors
 	// were still iterating (converged/failed/canceled early).
 	EarlyDropouts int64 `json:"early_dropouts"`
+	// RequeuedSolo counts members of a fused batch that died of a
+	// batch-level comm error and were re-queued to run solo by the retry
+	// supervisor instead of failing with the batch.
+	RequeuedSolo int64 `json:"requeued_solo"`
 }
 
 // fuseKey is the grouping shape of the admission window. Two jobs fuse
@@ -76,7 +81,10 @@ func (s *Server) dispatch(batches chan<- []*Job) {
 	window := s.cfg.BatchWindow
 	for job := range s.queue {
 		key, fusable := fusionKey(&job.Spec)
-		if !fusable {
+		if !fusable || job.soloOnly.Load() {
+			// soloOnly marks a survivor of a dead fused batch: its first
+			// vehicle failed at batch scope, so its retry must not share
+			// fate with new neighbors.
 			batches <- []*Job{job}
 			continue
 		}
@@ -90,7 +98,7 @@ func (s *Server) dispatch(batches chan<- []*Job) {
 				if !ok {
 					break collect
 				}
-				if k, f := fusionKey(&next.Spec); f && k == key {
+				if k, f := fusionKey(&next.Spec); f && k == key && !next.soloOnly.Load() {
 					group = append(group, next)
 				} else {
 					// A different shape never waits behind the open group —
@@ -198,21 +206,35 @@ func (s *Server) runBatch(group []*Job) {
 
 	s.fusionBatches.Add(1)
 	s.fusionJobs.Add(int64(len(live)))
+	for _, job := range live {
+		s.journalAttempt(job)
+	}
 	s.logf("fused batch of %d: %v tasks=%d", len(live), live[0].Spec.N, fused[0].Config.Tasks)
 
+	run := diffreg.RegisterFused
+	if s.cfg.runFused != nil {
+		run = s.cfg.runFused
+	}
 	t0 := time.Now()
-	results, info, err := diffreg.RegisterFused(fused)
+	results, info, err := run(fused)
 	wall := time.Since(t0).Seconds()
 
 	if err != nil {
 		// A batch-level failure (invalid member, rank failure mid-pass)
-		// fails every member: the fused world is one solver pass.
+		// kills the whole fused pass: the fused world is one solver run.
+		// Graceful degradation: a transient comm fault is the batch's
+		// fault, not any member's — each survivor is re-queued to run solo
+		// under its retry budget instead of failing with the batch.
 		kind := "solver"
 		var ce *mpi.CommError
 		if errors.As(err, &ce) {
 			kind = "comm"
 		}
 		for _, job := range live {
+			if s.maybeRetry(job, err.Error(), kind, true) {
+				s.fusionRequeued.Add(1)
+				continue
+			}
 			s.failed.Add(1)
 			job.finish(JobFailed, nil, err.Error(), kind, nil)
 		}
@@ -227,11 +249,23 @@ func (s *Server) runBatch(group []*Job) {
 	}
 }
 
+// journalAttempt records the start of the job's current execution attempt
+// (a lost journal must not kill live jobs, so errors only log).
+func (s *Server) journalAttempt(job *Job) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.Attempt(job.ID, job.Attempts()); err != nil {
+		s.logf("journal: attempt %s: %v", job.ID, err)
+	}
+}
+
 // runClaimed is runJob for a job that already passed setRunning (a fused
 // group that shrank to one member before launch).
 func (s *Server) runClaimed(job *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	s.journalAttempt(job)
 	if s.cfg.beforeRun != nil {
 		s.cfg.beforeRun(job)
 	}
@@ -241,9 +275,26 @@ func (s *Server) runClaimed(job *Job) {
 		job.finish(JobFailed, nil, err.Error(), "solver", nil)
 		return
 	}
+	attempt := job.Attempts()
 	cfg := job.Spec.config()
 	cfg.StopRequested = job.stop.Load
 	cfg.OnProgress = job.progress
+	if attempt > 1 {
+		// Injected faults model a transient environment failure bound to
+		// the attempt that hit it; the spec's deterministic fault plan
+		// would refire on every retry and exhaust the budget by
+		// construction.
+		cfg.ChaosSpec = ""
+	}
+	if sp := s.spoolPath(job); sp != "" {
+		cfg.CheckpointPath = sp
+		cfg.CheckpointEvery = s.cfg.Retry.CheckpointEvery
+		if ckpt.HasCheckpoint(sp) {
+			cfg.Resume = true
+			s.retryResumed.Add(1)
+			s.logf("%s attempt %d resuming from spool checkpoint", job.ID, attempt)
+		}
+	}
 	var rec *sourceRecorder
 	if s.cache != nil && !job.Spec.NoCache {
 		rec = &sourceRecorder{pc: s.cache}
@@ -258,12 +309,30 @@ func (s *Server) runClaimed(job *Job) {
 	}
 	t0 := time.Now()
 	res, err := diffreg.Register(template, reference, cfg)
+	if err != nil && cfg.Resume {
+		var ce *mpi.CommError
+		if !errors.As(err, &ce) {
+			// The spool checkpoint did not load (torn write, precision
+			// mismatch after a config change, stale dims). The spool is a
+			// best-effort accelerator, never a correctness dependency:
+			// reap it and run the attempt from scratch.
+			s.logf("%s spool resume failed, re-running from scratch: %v", job.ID, err)
+			if rerr := ckpt.Reap(cfg.CheckpointPath); rerr != nil {
+				s.logf("spool: reap %s: %v", job.ID, rerr)
+			}
+			cfg.Resume = false
+			res, err = diffreg.Register(template, reference, cfg)
+		}
+	}
 	wall := time.Since(t0).Seconds()
 	if err != nil {
 		kind := "solver"
 		var ce *mpi.CommError
 		if errors.As(err, &ce) {
 			kind = "comm"
+		}
+		if s.maybeRetry(job, err.Error(), kind, false) {
+			return
 		}
 		s.failed.Add(1)
 		job.finish(JobFailed, nil, err.Error(), kind, nil)
@@ -296,6 +365,9 @@ func (s *Server) finishSolved(job *Job, res *diffreg.Result, wall float64, rec *
 		job.finish(JobCanceled, buildResult(res, wall, rec, &job.Spec), "server shutdown", "shutdown", res.Degradations)
 	default:
 		s.done.Add(1)
+		if job.Attempts() > 1 {
+			s.retryRecovered.Add(1)
+		}
 		job.finish(JobDone, buildResult(res, wall, rec, &job.Spec), "", "", res.Degradations)
 		s.logf("%s done: misfit %.3e -> %.3e in %.2fs", job.ID, res.MisfitInit, res.MisfitFinal, wall)
 	}

@@ -317,11 +317,11 @@ func jobIDs(g []*Job) []string {
 // TestFusionStatsJSONShape pins the /stats fusion block wire format.
 func TestFusionStatsJSONShape(t *testing.T) {
 	b, err := json.Marshal(FusionStats{Enabled: true, MaxBatch: 4, Batches: 2,
-		FusedJobs: 6, MeanFill: 0.75, EarlyDropouts: 1})
+		FusedJobs: 6, MeanFill: 0.75, EarlyDropouts: 1, RequeuedSolo: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := `{"enabled":true,"max_batch":4,"batches":2,"fused_jobs":6,"mean_fill":0.75,"early_dropouts":1}`
+	want := `{"enabled":true,"max_batch":4,"batches":2,"fused_jobs":6,"mean_fill":0.75,"early_dropouts":1,"requeued_solo":1}`
 	if got := string(bytes.TrimSpace(b)); got != want {
 		t.Fatalf("fusion stats JSON drifted:\n got %s\nwant %s", got, want)
 	}

@@ -46,6 +46,13 @@ type JobSpec struct {
 	Normalize         bool      `json:"normalize,omitempty"`
 	Chaos             string    `json:"chaos,omitempty"`
 
+	// IdempotencyKey deduplicates client-side retries of POST /jobs: two
+	// submissions with the same non-empty key return the same job (the
+	// second is not run). The HTTP handler also accepts the key via the
+	// Idempotency-Key header, which takes precedence over the body field.
+	// Keys survive server restarts through the job journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+
 	// TimeoutSec overrides the server's default per-job timeout; negative
 	// disables the timeout for this job.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -219,6 +226,12 @@ type JobStatus struct {
 	Degradations []string   `json:"degradations,omitempty"`
 	Events       int        `json:"events"`
 	Result       *JobResult `json:"result,omitempty"`
+
+	// Attempts counts execution attempts started (0 while first-queued;
+	// > 1 means the retry supervisor re-ran the job). NextRetry is set
+	// while the job waits out a retry backoff.
+	Attempts  int        `json:"attempts,omitempty"`
+	NextRetry *time.Time `json:"next_retry,omitempty"`
 }
 
 // Job is one tracked registration. The solver's stop flag is plain atomic
@@ -231,6 +244,7 @@ type Job struct {
 	stop     atomic.Bool // cooperative-stop request (cancel, timeout, shutdown)
 	canceled atomic.Bool
 	timedOut atomic.Bool
+	soloOnly atomic.Bool // re-queued from a dead fused batch: never re-fuse
 
 	mu           sync.Mutex
 	state        JobState
@@ -240,6 +254,16 @@ type Job struct {
 	errMsg       string
 	errKind      string
 	degradations []string
+	attempts     int       // execution attempts started
+	nextRetry    time.Time // zero unless waiting out a retry backoff
+	lastErr      string    // last attempt's failure, kept across retries
+	lastKind     string
+
+	// onTerminal, when set (by the server), runs exactly once after the
+	// job reaches a terminal state, outside j.mu — the server journals the
+	// outcome, reaps the checkpoint spool, and retires the job into the
+	// retention ring from it.
+	onTerminal func(*Job)
 
 	done chan struct{}
 }
@@ -250,6 +274,24 @@ func newJob(id string, spec JobSpec) *Job {
 		notify: make(chan struct{}), done: make(chan struct{}),
 	}
 	j.appendLockedEvent(Event{Kind: "state", State: JobQueued})
+	return j
+}
+
+// newReplayedJob reconstructs a job from the journal at server restart.
+// A non-terminal replay comes back queued with its pre-crash attempt
+// count (the budget spans restarts); a terminal replay is a stub holding
+// the journaled outcome — results are not journaled, so it has none.
+func newReplayedJob(r *ReplayedJob) *Job {
+	j := newJob(r.ID, r.Spec)
+	j.attempts = r.Attempts
+	if !r.Terminal {
+		return j
+	}
+	j.state = r.State
+	j.errMsg = r.Error
+	j.errKind = r.ErrKind
+	j.appendLockedEvent(Event{Kind: "state", State: r.State})
+	close(j.done)
 	return j
 }
 
@@ -277,10 +319,23 @@ func (j *Job) Result() *JobResult {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID: j.ID, State: j.state, Error: j.errMsg, ErrorKind: j.errKind,
 		Degradations: j.degradations, Events: len(j.events), Result: j.result,
+		Attempts: j.attempts,
 	}
+	if !j.nextRetry.IsZero() {
+		t := j.nextRetry
+		st.NextRetry = &t
+	}
+	return st
+}
+
+// Attempts returns the number of execution attempts started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
 }
 
 // EventsSince returns the events with Seq >= from plus the notification
@@ -311,7 +366,8 @@ func (j *Job) progress(ev diffreg.ProgressEvent) {
 }
 
 // setRunning transitions queued -> running; it returns false when the job
-// was already canceled (the worker then skips it).
+// was already canceled (the worker then skips it). Each successful
+// transition starts a new execution attempt.
 func (j *Job) setRunning() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -319,15 +375,34 @@ func (j *Job) setRunning() bool {
 		return false
 	}
 	j.state = JobRunning
+	j.attempts++
+	j.nextRetry = time.Time{}
 	j.appendLockedEvent(Event{Kind: "state", State: JobRunning})
 	return true
+}
+
+// setQueuedForRetry transitions running -> queued for the retry
+// supervisor, recording the failed attempt's error and the scheduled next
+// attempt time. The transition is announced on the event stream as a
+// "retry" event so watchers can tell a re-queue from the initial queue.
+func (j *Job) setQueuedForRetry(errMsg, errKind string, next time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = JobQueued
+	j.lastErr = errMsg
+	j.lastKind = errKind
+	j.nextRetry = next
+	j.appendLockedEvent(Event{Kind: "retry", State: JobQueued})
 }
 
 // finish moves the job to a terminal state exactly once.
 func (j *Job) finish(state JobState, result *JobResult, errMsg, errKind string, degradations []string) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.state = state
@@ -335,8 +410,14 @@ func (j *Job) finish(state JobState, result *JobResult, errMsg, errKind string, 
 	j.errMsg = errMsg
 	j.errKind = errKind
 	j.degradations = degradations
+	j.nextRetry = time.Time{}
 	j.appendLockedEvent(Event{Kind: "state", State: state})
 	close(j.done)
+	cb := j.onTerminal
+	j.mu.Unlock()
+	if cb != nil {
+		cb(j)
+	}
 }
 
 // RequestCancel flags the job for cooperative cancellation. A queued job

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"diffreg"
+	"diffreg/internal/ckpt"
 )
 
 // Config sizes the server. Zero values take the documented defaults; set
@@ -31,6 +33,30 @@ type Config struct {
 	// Logf receives server lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 
+	// JournalDir enables the write-ahead job journal: accepted specs,
+	// attempt starts, and terminal states are appended (CRC-framed,
+	// fsynced) under this directory, and a server built from the same
+	// directory replays them — re-running every non-terminal job. Empty
+	// disables journaling. Open returns journal errors; New panics on
+	// them.
+	JournalDir string
+	// SpoolDir enables checkpoint spooling: checkpoint-compatible jobs
+	// run with a CheckpointPath inside this directory, so a retry (or a
+	// journal replay after a crash) resumes from the last flushed
+	// checkpoint bit-identically instead of from scratch. Spool files are
+	// reaped when their job reaches a terminal state. Empty disables
+	// spooling; Open defaults it to JournalDir/spool when journaling is
+	// on and retries are enabled.
+	SpoolDir string
+	// Retry is the error-kind-aware attempt budget (see RetryPolicy).
+	// The zero value disables retries.
+	Retry RetryPolicy
+	// Retain caps the terminal jobs kept queryable: once exceeded, the
+	// oldest terminal jobs (and their event buffers and idempotency keys)
+	// are evicted so memory stops growing under sustained traffic.
+	// 0 means the default (1024); negative retains everything.
+	Retain int
+
 	// MaxBatch enables job fusion when > 1: queued jobs of identical
 	// fusion shape — (grid, tasks, precision, cache opt-out) — are
 	// grouped up to this width and executed as one fused solver pass
@@ -45,6 +71,10 @@ type Config struct {
 	// beforeRun, when set, runs in the worker immediately before a job's
 	// solve starts — a test hook for making "worker busy" deterministic.
 	beforeRun func(*Job)
+	// runFused, when set, replaces diffreg.RegisterFused for fused
+	// batches — a test hook for injecting batch-level failures
+	// deterministically.
+	runFused func([]diffreg.FusedJob) ([]*diffreg.Result, *diffreg.FusedInfo, error)
 }
 
 // Submission errors surfaced by Submit (mapped to HTTP statuses by the
@@ -52,6 +82,10 @@ type Config struct {
 var (
 	ErrQueueFull = errors.New("serve: job queue full")
 	ErrClosed    = errors.New("serve: server is shutting down")
+	// ErrJournal reports that the write-ahead journal rejected the
+	// accepted-record append: the 202 is a durability promise, so a job
+	// that cannot be journaled is not admitted (HTTP 503).
+	ErrJournal = errors.New("serve: journal write failed")
 )
 
 // SpecError marks a malformed job spec (HTTP 400).
@@ -62,17 +96,22 @@ func (e *SpecError) Unwrap() error { return e.Err }
 
 // ServerStats is the GET /stats body.
 type ServerStats struct {
-	Workers      int         `json:"workers"`
-	QueueDepth   int         `json:"queue_depth"`
-	Queued       int         `json:"queued"`
-	Running      int64       `json:"running"`
-	Done         int64       `json:"done"`
-	Failed       int64       `json:"failed"`
-	Canceled     int64       `json:"canceled"`
-	Rejected     int64       `json:"rejected"`
-	Cache        CacheStats  `json:"cache"`
-	CacheEnabled bool        `json:"cache_enabled"`
-	Fusion       FusionStats `json:"fusion"`
+	Workers      int          `json:"workers"`
+	QueueDepth   int          `json:"queue_depth"`
+	Queued       int          `json:"queued"`
+	Running      int64        `json:"running"`
+	Done         int64        `json:"done"`
+	Failed       int64        `json:"failed"`
+	Canceled     int64        `json:"canceled"`
+	Rejected     int64        `json:"rejected"`
+	Deduped      int64        `json:"deduped"`
+	Retained     int          `json:"retained"`
+	Evicted      int64        `json:"evicted"`
+	Cache        CacheStats   `json:"cache"`
+	CacheEnabled bool         `json:"cache_enabled"`
+	Fusion       FusionStats  `json:"fusion"`
+	Retries      RetryStats   `json:"retries"`
+	Journal      JournalStats `json:"journal"`
 }
 
 // Server is the registration job server: a bounded queue feeding a fixed
@@ -83,11 +122,22 @@ type Server struct {
 	cache *PlanCache // nil when disabled
 	queue chan *Job
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	seq    int64
-	closed bool
+	journal *Journal // nil when disabled
+	closing chan struct{}
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int64
+	closed   bool
+	idem     map[string]string // idempotency key -> job ID
+	retained []string          // terminal jobs, oldest first (retention ring)
+	stale    int               // evicted IDs still present in order
+
+	retryTimers map[string]*time.Timer // pending backoffs by job ID
+
+	journalReplayed  int // intact records read at startup
+	journalRecovered int // non-terminal jobs re-queued at startup
 
 	wg       sync.WaitGroup
 	running  atomic.Int64
@@ -95,10 +145,18 @@ type Server struct {
 	failed   atomic.Int64
 	canceled atomic.Int64
 	rejected atomic.Int64
+	deduped  atomic.Int64
+	evicted  atomic.Int64
+
+	retryScheduled atomic.Int64
+	retryResumed   atomic.Int64
+	retryRecovered atomic.Int64
+	retryExhausted atomic.Int64
 
 	fusionBatches  atomic.Int64
 	fusionJobs     atomic.Int64
 	fusionDropouts atomic.Int64
+	fusionRequeued atomic.Int64
 
 	genMu sync.Mutex
 	gen   map[genKey]genPair
@@ -170,8 +228,33 @@ func (s *Server) volumes(spec *JobSpec) (diffreg.Volume, diffreg.Volume, error) 
 	return template, reference, nil
 }
 
-// New starts the worker pool and returns the server.
+// New starts the worker pool and returns the server. It panics when a
+// journal-enabled configuration cannot open its journal — use Open to
+// handle that error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// jobSeq extracts the numeric suffix of a server-assigned job ID, so a
+// restarted server continues the ID sequence past every replayed job.
+func jobSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Open starts the worker pool and returns the server. With JournalDir
+// set it first replays the journal: terminal jobs come back as queryable
+// stubs (idempotency keys intact), non-terminal jobs are re-queued ahead
+// of new traffic and re-run — with a checkpoint resume when the crashed
+// attempt left a spool file behind.
+func Open(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -181,13 +264,68 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 2 * cfg.Workers
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.SpoolDir == "" && cfg.JournalDir != "" && cfg.Retry.enabled() {
+		cfg.SpoolDir = filepath.Join(cfg.JournalDir, "spool")
+	}
+	if cfg.SpoolDir != "" {
+		if err := ckpt.EnsureSpoolDir(cfg.SpoolDir); err != nil {
+			return nil, fmt.Errorf("serve: spool dir: %w", err)
+		}
+	}
+	var journal *Journal
+	var replayed []*ReplayedJob
+	records := 0
+	if cfg.JournalDir != "" {
+		var err error
+		journal, replayed, records, err = OpenJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  map[string]*Job{},
+		cfg:             cfg,
+		journal:         journal,
+		closing:         make(chan struct{}),
+		jobs:            map[string]*Job{},
+		idem:            map[string]string{},
+		retryTimers:     map[string]*time.Timer{},
+		journalReplayed: records,
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = NewPlanCache(cfg.CacheEntries)
+	}
+	nonTerminal := 0
+	for _, r := range replayed {
+		if !r.Terminal {
+			nonTerminal++
+		}
+	}
+	// The queue holds QueueDepth fresh submissions; replayed jobs ride in
+	// extra slots so recovery never fights admission control.
+	s.queue = make(chan *Job, cfg.QueueDepth+nonTerminal)
+	for _, r := range replayed {
+		job := newReplayedJob(r)
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		if r.Idem != "" {
+			s.idem[r.Idem] = job.ID
+		}
+		if n := jobSeq(job.ID); n > s.seq {
+			s.seq = n
+		}
+		if r.Terminal {
+			s.retained = append(s.retained, job.ID)
+		} else {
+			job.onTerminal = s.retireJob
+			s.queue <- job
+			s.journalRecovered++
+		}
+	}
+	s.enforceRetentionLocked() // replayed stubs respect the retention cap too
+	if journal != nil {
+		s.logf("journal: replayed %d records (%d jobs), re-running %d non-terminal jobs",
+			records, len(replayed), nonTerminal)
 	}
 	if cfg.MaxBatch > 1 {
 		// Fusion: one dispatcher groups the queue into fused batches;
@@ -210,7 +348,7 @@ func New(cfg Config) *Server {
 				}
 			}()
 		}
-		return s
+		return s, nil
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -221,35 +359,131 @@ func New(cfg Config) *Server {
 			}
 		}()
 	}
-	return s
+	return s, nil
 }
 
 // Submit validates and enqueues a job. It returns *SpecError for malformed
 // specs, ErrQueueFull when admission control rejects, ErrClosed after
-// Close.
+// Close, and ErrJournal when the journal cannot record the acceptance.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	job, _, err := s.submit(spec)
+	return job, err
+}
+
+// submit additionally reports whether the returned job was deduplicated
+// against an earlier submission via its idempotency key.
+func (s *Server) submit(spec JobSpec) (*Job, bool, error) {
 	if err := spec.Validate(); err != nil {
-		return nil, &SpecError{Err: err}
+		return nil, false, &SpecError{Err: err}
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
+	}
+	if key := spec.IdempotencyKey; key != "" {
+		if id, ok := s.idem[key]; ok {
+			if j, ok := s.jobs[id]; ok {
+				s.mu.Unlock()
+				s.deduped.Add(1)
+				return j, true, nil
+			}
+			delete(s.idem, key) // the mapped job was evicted; the key is free
+		}
+	}
+	// Admission control gates on QueueDepth, not channel capacity: the
+	// channel carries extra replay/retry slots that fresh traffic must not
+	// consume. Under s.mu the queue can only drain, so once this check
+	// passes the send below cannot block.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.rejected.Add(1)
+		s.mu.Unlock()
+		return nil, false, ErrQueueFull
 	}
 	s.seq++
 	job := newJob(fmt.Sprintf("job-%06d", s.seq), spec)
-	select {
-	case s.queue <- job:
-		s.jobs[job.ID] = job
-		s.order = append(s.order, job.ID)
-		s.mu.Unlock()
-		s.logf("accepted %s: %v tasks=%d", job.ID, spec.N, spec.Tasks)
-		return job, nil
-	default:
+	job.onTerminal = s.retireJob
+	if err := s.journal.Accepted(job.ID, spec.IdempotencyKey, &spec); err != nil {
 		s.seq--
-		s.rejected.Add(1)
 		s.mu.Unlock()
-		return nil, ErrQueueFull
+		return nil, false, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	s.queue <- job
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	if spec.IdempotencyKey != "" {
+		s.idem[spec.IdempotencyKey] = job.ID
+	}
+	s.mu.Unlock()
+	s.logf("accepted %s: %v tasks=%d", job.ID, spec.N, spec.Tasks)
+	return job, false, nil
+}
+
+// retainCap resolves Config.Retain (-1 = unlimited).
+func (s *Server) retainCap() int {
+	switch {
+	case s.cfg.Retain < 0:
+		return -1
+	case s.cfg.Retain == 0:
+		return 1024
+	default:
+		return s.cfg.Retain
+	}
+}
+
+// retireJob is every job's onTerminal hook: it journals the outcome,
+// reaps the spool checkpoint, and rotates the job through the bounded
+// retention ring. Runs outside both j.mu and s.mu.
+func (s *Server) retireJob(j *Job) {
+	if s.journal != nil {
+		st := j.Status()
+		if err := s.journal.Terminal(j.ID, st.State, st.ErrorKind, st.Error); err != nil {
+			s.logf("journal: terminal %s: %v", j.ID, err)
+		}
+	}
+	if sp := s.spoolPath(j); sp != "" {
+		if err := ckpt.Reap(sp); err != nil {
+			s.logf("spool: reap %s: %v", j.ID, err)
+		}
+	}
+	s.mu.Lock()
+	s.retained = append(s.retained, j.ID)
+	s.enforceRetentionLocked()
+	s.mu.Unlock()
+}
+
+// enforceRetentionLocked evicts the oldest terminal jobs past the
+// retention cap (caller holds s.mu). Eviction releases the job, its event
+// buffer, and its idempotency key; the order slice is compacted lazily
+// once evicted IDs dominate it.
+func (s *Server) enforceRetentionLocked() {
+	limit := s.retainCap()
+	if limit < 0 {
+		return
+	}
+	for len(s.retained) > limit {
+		victim := s.retained[0]
+		s.retained = s.retained[1:]
+		vj, ok := s.jobs[victim]
+		if !ok {
+			continue
+		}
+		delete(s.jobs, victim)
+		if k := vj.Spec.IdempotencyKey; k != "" && s.idem[k] == victim {
+			delete(s.idem, k)
+		}
+		s.stale++
+		s.evicted.Add(1)
+	}
+	if s.stale > 64 && s.stale*2 > len(s.order) {
+		keep := s.order[:0]
+		for _, id := range s.order {
+			if _, ok := s.jobs[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		s.order = keep
+		s.stale = 0
 	}
 }
 
@@ -271,6 +505,7 @@ func (s *Server) Stats() ServerStats {
 		Queued:  len(s.queue),
 		Running: s.running.Load(), Done: s.done.Load(), Failed: s.failed.Load(),
 		Canceled: s.canceled.Load(), Rejected: s.rejected.Load(),
+		Deduped: s.deduped.Load(), Evicted: s.evicted.Load(),
 		CacheEnabled: s.cache != nil,
 	}
 	if s.cache != nil {
@@ -282,10 +517,26 @@ func (s *Server) Stats() ServerStats {
 		Batches:       s.fusionBatches.Load(),
 		FusedJobs:     s.fusionJobs.Load(),
 		EarlyDropouts: s.fusionDropouts.Load(),
+		RequeuedSolo:  s.fusionRequeued.Load(),
 	}
 	if st.Fusion.Batches > 0 {
 		st.Fusion.MeanFill = float64(st.Fusion.FusedJobs) / float64(st.Fusion.Batches) / float64(s.cfg.MaxBatch)
 	}
+	st.Retries = RetryStats{
+		Enabled:     s.cfg.Retry.enabled(),
+		MaxAttempts: s.cfg.Retry.MaxAttempts,
+		Scheduled:   s.retryScheduled.Load(),
+		Resumed:     s.retryResumed.Load(),
+		Recovered:   s.retryRecovered.Load(),
+		Exhausted:   s.retryExhausted.Load(),
+	}
+	st.Journal = s.journal.stats()
+	s.mu.Lock()
+	st.Retained = len(s.retained)
+	st.Retries.Pending = len(s.retryTimers)
+	st.Journal.Replayed = s.journalReplayed
+	st.Journal.Recovered = s.journalRecovered
+	s.mu.Unlock()
 	return st
 }
 
@@ -300,6 +551,8 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	close(s.closing) // wakes idle event-stream watchers so Shutdown drains fast
+	s.stopRetryTimersLocked()
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
@@ -319,6 +572,9 @@ func (s *Server) Close() {
 			j.finish(JobCanceled, nil, "server shutdown before start", "shutdown", nil)
 			s.canceled.Add(1)
 		}
+	}
+	if err := s.journal.Close(); err != nil {
+		s.logf("journal: close: %v", err)
 	}
 	s.logf("server closed: %d done, %d failed, %d canceled", s.done.Load(), s.failed.Load(), s.canceled.Load())
 }
@@ -377,15 +633,25 @@ func buildResult(res *diffreg.Result, wall float64, rec *sourceRecorder, spec *J
 	return jr
 }
 
+// defaultListLimit caps GET /jobs responses when the client passes no
+// ?limit — with the retention ring the job store is bounded but still
+// large, and a full dump is rarely what a poller wants.
+const defaultListLimit = 256
+
 // Handler returns the HTTP API:
 //
 //	POST /jobs            submit a JobSpec        -> 202 {id} | 400 | 429 | 503
-//	GET  /jobs            list jobs               -> 200 [{id, state}]
+//	GET  /jobs            list jobs (newest first; ?limit=N ?state=S) -> 200 [{id, state}]
 //	GET  /jobs/{id}        job status + result     -> 200 JobStatus | 404
 //	GET  /jobs/{id}/events NDJSON progress stream  -> 200 (blocks until terminal)
 //	POST /jobs/{id}/cancel cooperative cancel      -> 202 {state} | 404
 //	GET  /stats            server + cache counters -> 200 ServerStats
 //	GET  /healthz          liveness                -> 200 "ok"
+//	GET  /readyz           readiness               -> 200 "ready" | 503 draining/saturated
+//
+// POST /jobs honors an Idempotency-Key header (overriding the spec
+// field): re-POSTing a key returns the original job with "deduped":true
+// instead of running it twice.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -395,23 +661,57 @@ func (s *Server) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
 			return
 		}
-		job, err := s.Submit(spec)
+		if key := r.Header.Get("Idempotency-Key"); key != "" {
+			spec.IdempotencyKey = key
+		}
+		job, deduped, err := s.submit(spec)
 		switch {
 		case err == nil:
-			writeJSON(w, http.StatusAccepted, map[string]any{"id": job.ID, "state": job.State()})
+			body := map[string]any{"id": job.ID, "state": job.State()}
+			if deduped {
+				body["deduped"] = true
+			}
+			writeJSON(w, http.StatusAccepted, body)
 		case errors.Is(err, ErrQueueFull):
 			httpError(w, http.StatusTooManyRequests, err.Error())
-		case errors.Is(err, ErrClosed):
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrJournal):
 			httpError(w, http.StatusServiceUnavailable, err.Error())
 		default:
 			httpError(w, http.StatusBadRequest, err.Error())
 		}
 	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		limit := defaultListLimit
+		if q := r.URL.Query().Get("limit"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+				return
+			}
+			limit = v
+		}
+		var stateFilter JobState
+		if q := r.URL.Query().Get("state"); q != "" {
+			switch st := JobState(q); st {
+			case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+				stateFilter = st
+			default:
+				httpError(w, http.StatusBadRequest, "unknown state (want queued|running|done|failed|canceled)")
+				return
+			}
+		}
 		s.mu.Lock()
-		list := make([]map[string]any, 0, len(s.order))
-		for _, id := range s.order {
-			list = append(list, map[string]any{"id": id, "state": s.jobs[id].State()})
+		list := make([]map[string]any, 0, min(limit, len(s.order)))
+		for i := len(s.order) - 1; i >= 0 && len(list) < limit; i-- {
+			job, ok := s.jobs[s.order[i]]
+			if !ok {
+				continue // evicted from the retention ring
+			}
+			st := job.State()
+			if stateFilter != "" && st != stateFilter {
+				continue
+			}
+			list = append(list, map[string]any{"id": job.ID, "state": st})
 		}
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, list)
@@ -465,6 +765,16 @@ func (s *Server) Handler() http.Handler {
 			}
 			select {
 			case <-notify:
+			case <-s.closing:
+				// Server shutdown: Close finishes every job, so wait for
+				// this one's terminal transition, drain the tail on the
+				// next loop pass, and end the stream — instead of idling
+				// out http.Server.Shutdown's full drain deadline.
+				select {
+				case <-job.Done():
+				case <-r.Context().Done():
+					return
+				}
 			case <-r.Context().Done():
 				return
 			}
@@ -484,6 +794,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness is distinct from liveness: a draining or saturated
+		// server is alive (healthz 200) but should be rotated out of a
+		// load balancer (readyz 503).
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		switch {
+		case closed:
+			httpError(w, http.StatusServiceUnavailable, "draining: server is shutting down")
+		case len(s.queue) >= s.cfg.QueueDepth:
+			httpError(w, http.StatusServiceUnavailable, "saturated: job queue full")
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ready")
+		}
 	})
 	return mux
 }

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
 # serve-smoke.sh — CI smoke test for the regserve daemon.
 #
-# Starts the daemon, submits one 32³ synthetic registration over HTTP,
-# polls the job to completion, and asserts the final misfit is finite
-# and below the initial misfit. Usage: scripts/serve-smoke.sh [regserve-binary]
+# Leg 1: starts the daemon, submits one 32³ synthetic registration over
+# HTTP, polls the job to completion, and asserts the final misfit is
+# finite and below the initial misfit.
+#
+# Leg 2 (durability): starts a journaled daemon, SIGKILLs it while a job
+# is running, restarts it with the same -journal directory, and asserts
+# the job re-runs to a finite misfit with attempts > 1 — no accepted job
+# is lost to the crash. Usage: scripts/serve-smoke.sh [regserve-binary]
 set -euo pipefail
 
 BIN=${1:-}
@@ -16,7 +21,7 @@ BASE=http://$ADDR
 
 "$BIN" -addr "$ADDR" -workers 1 &
 SERVE_PID=$!
-trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+trap 'kill $SERVE_PID 2>/dev/null || true; kill -9 ${SERVE_PID2:-0} 2>/dev/null || true' EXIT
 
 for _ in $(seq 1 50); do
     curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
@@ -66,3 +71,98 @@ jq -e '.result.misfit_final as $m
     exit 1
 }
 echo "serve-smoke: ok (misfit $(jq -r .result.misfit_init status.json) -> $(jq -r .result.misfit_final status.json))"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
+# ---- Leg 2: kill-and-restart durability -------------------------------
+ADDR2=127.0.0.1:7471
+BASE2=http://$ADDR2
+JDIR=$(mktemp -d)
+
+start_durable() {
+    "$BIN" -addr "$ADDR2" -workers 1 -journal "$JDIR" -retries 2 &
+    SERVE_PID2=$!
+    for _ in $(seq 1 50); do
+        curl -fsS "$BASE2/healthz" >/dev/null 2>&1 && break
+        sleep 0.2
+    done
+    curl -fsS "$BASE2/healthz" >/dev/null
+}
+start_durable
+curl -fsS "$BASE2/readyz" >/dev/null
+
+code=$(curl -s -o job2.json -w '%{http_code}' -X POST "$BASE2/jobs" \
+    -H 'Content-Type: application/json' \
+    -H 'Idempotency-Key: smoke-durable-1' \
+    -d '{"generator":"synthetic","n":[32,32,32],"tasks":2,"time_steps":2,"max_newton_iters":6,"grad_tol":1e-12}')
+if [ "$code" != 202 ]; then
+    echo "serve-smoke: durable POST /jobs returned $code" >&2
+    cat job2.json >&2
+    exit 1
+fi
+id2=$(jq -r .id job2.json)
+
+# Wait for the job to start, then SIGKILL the daemon mid-solve.
+for _ in $(seq 1 200); do
+    state=$(curl -s "$BASE2/jobs/$id2" | jq -r .state)
+    [ "$state" = running ] && break
+    sleep 0.05
+done
+if [ "$state" != running ]; then
+    echo "serve-smoke: durable job never started ($state)" >&2
+    exit 1
+fi
+kill -9 "$SERVE_PID2"
+wait "$SERVE_PID2" 2>/dev/null || true
+
+# Restart with the same journal: the accepted job must replay and re-run.
+start_durable
+state=""
+for _ in $(seq 1 300); do
+    code=$(curl -s -o status2.json -w '%{http_code}' "$BASE2/jobs/$id2")
+    if [ "$code" != 200 ]; then
+        echo "serve-smoke: recovered job vanished (GET returned $code)" >&2
+        exit 1
+    fi
+    state=$(jq -r .state status2.json)
+    case "$state" in
+    done) break ;;
+    failed | canceled)
+        echo "serve-smoke: recovered job ended $state" >&2
+        cat status2.json >&2
+        exit 1
+        ;;
+    esac
+    sleep 1
+done
+if [ "$state" != done ]; then
+    echo "serve-smoke: recovered job did not finish in time" >&2
+    cat status2.json >&2
+    exit 1
+fi
+jq -e '.result.misfit_final as $m
+       | ($m | isnan or isinfinite | not)
+       and $m >= 0 and $m < .result.misfit_init
+       and .attempts > 1' status2.json >/dev/null || {
+    echo "serve-smoke: recovered job misfit/attempts check failed" >&2
+    cat status2.json >&2
+    exit 1
+}
+# Idempotent re-POST of the pre-crash submission resolves to the same job.
+dedup=$(curl -s -X POST "$BASE2/jobs" \
+    -H 'Content-Type: application/json' \
+    -H 'Idempotency-Key: smoke-durable-1' \
+    -d '{"generator":"synthetic","n":[32,32,32],"tasks":2,"time_steps":2,"max_newton_iters":6,"grad_tol":1e-12}')
+if [ "$(echo "$dedup" | jq -r .id)" != "$id2" ] || [ "$(echo "$dedup" | jq -r .deduped)" != true ]; then
+    echo "serve-smoke: idempotency key did not survive the restart: $dedup" >&2
+    exit 1
+fi
+# The /stats durability blocks must report the recovery.
+curl -s "$BASE2/stats" | jq -e '.journal.enabled and .journal.recovered >= 1 and .retries.enabled' >/dev/null || {
+    echo "serve-smoke: /stats journal/retries blocks missing or wrong" >&2
+    curl -s "$BASE2/stats" >&2
+    exit 1
+}
+kill "$SERVE_PID2" 2>/dev/null || true
+wait "$SERVE_PID2" 2>/dev/null || true
+echo "serve-smoke: durability ok (job $id2 survived SIGKILL: misfit $(jq -r .result.misfit_init status2.json) -> $(jq -r .result.misfit_final status2.json), attempts $(jq -r .attempts status2.json))"
